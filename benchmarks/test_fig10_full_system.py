@@ -1,0 +1,50 @@
+"""Figure 10: the complete system — PProx in front of Harness.
+
+Paper claims reproduced here:
+* full-system latency ~ Figure 8 (proxy) + Figure 9 (Harness) sums;
+* for 250-750 RPS, medians sit between ~50 and 300 ms, meeting the
+  SLO (median < 300 ms);
+* at 50 RPS shuffling dominates, especially for larger deployments;
+* at 1000 RPS the median stays below 300 ms while the maximum grows.
+"""
+
+from __future__ import annotations
+
+from conftest import RUNS, SEED
+
+from repro.cluster.deployments import MACRO_FULL
+from repro.experiments.figures import figure10
+from repro.experiments.report import render_figure
+from repro.workload.scenario import ScenarioTimings
+
+GRID = [50, 250, 500, 750, 1000]
+TIMINGS = ScenarioTimings(feedback_seconds=10.0, query_seconds=30.0, trim_seconds=8.0)
+SCALE = 0.005
+
+
+def test_figure10(once):
+    data = once(
+        figure10, seed=SEED, runs=RUNS, timings=TIMINGS, rps_grid=GRID,
+        workload_scale=SCALE,
+    )
+    print()
+    print(render_figure(data))
+
+    # Rated throughputs complete unsaturated.
+    for name in ("f1", "f2", "f3", "f4"):
+        config = MACRO_FULL[name]
+        assert not data.point(name, config.max_rps).saturated
+
+    # SLO: median below 300 ms at every rated working point >= 250 RPS.
+    for name, rps in [("f1", 250), ("f2", 500), ("f3", 750), ("f4", 1000)]:
+        median = data.point(name, rps).summary.median
+        assert median < 0.300, f"{name}@{rps}: median {median * 1000:.0f} ms breaks SLO"
+
+    # Shuffling dominates at 50 RPS: f4 (8 thin proxy instances) pays
+    # more than f1 (1 pair concentrating the traffic).
+    assert data.point("f4", 50).summary.median > data.point("f1", 50).summary.median
+
+    # The max grows with load but the median stays bounded (paper: at
+    # 1000 RPS max approaches 450 ms, median < 200 ms).
+    top = data.point("f4", 1000).summary
+    assert top.maximum > top.median * 1.5

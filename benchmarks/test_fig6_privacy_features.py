@@ -1,0 +1,44 @@
+"""Figure 6: the latency cost of each privacy-enabling feature.
+
+Paper claims reproduced here:
+* adding encryption (m1 -> m2) costs more than adding SGX (m2 -> m3);
+* SGX adds a few milliseconds of median latency;
+* disabling item pseudonymization (m4 vs m3) has negligible impact.
+"""
+
+from __future__ import annotations
+
+from conftest import MICRO_DURATION, MICRO_TRIM, RUNS, SEED
+
+from repro.experiments.figures import figure6
+from repro.experiments.report import render_figure
+
+RPS_GRID = [50, 150, 250]
+
+
+def test_figure6(once):
+    data = once(
+        figure6, seed=SEED, runs=RUNS, duration=MICRO_DURATION, trim=MICRO_TRIM,
+        rps_grid=RPS_GRID,
+    )
+    print()
+    print(render_figure(data))
+
+    for rps in RPS_GRID:
+        m1 = data.point("m1", rps).summary.median
+        m2 = data.point("m2", rps).summary.median
+        m3 = data.point("m3", rps).summary.median
+        m4 = data.point("m4", rps).summary.median
+        # Feature ladder: bare < +encryption < +SGX.
+        assert m1 < m2 < m3, f"feature ladder broken at {rps} RPS"
+        # Encryption's cost exceeds SGX's cost ("about half as much").
+        assert (m2 - m1) > (m3 - m2), f"encryption/SGX cost order broken at {rps} RPS"
+        # SGX adds single-digit milliseconds.
+        assert 0.0005 < (m3 - m2) < 0.010
+        # m4 (no item pseudonymization) is close to m3: negligible.
+        assert abs(m3 - m4) < 0.25 * m3
+
+    # No configuration saturates on this grid (Table 2: max 250 RPS).
+    for name in ("m1", "m2", "m3", "m4"):
+        for rps in RPS_GRID:
+            assert not data.point(name, rps).saturated

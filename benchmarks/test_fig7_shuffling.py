@@ -1,0 +1,42 @@
+"""Figure 7: the latency impact of request/response shuffling.
+
+Paper claims reproduced here:
+* shuffling cost falls as throughput rises (buffers fill faster);
+* S=10 costs more than S=5, which costs more than no shuffling;
+* at 50 RPS, S=10 latency is high relative to SLOs, while at 250 RPS
+  the median stays well below 200 ms.
+"""
+
+from __future__ import annotations
+
+from conftest import MICRO_DURATION, MICRO_TRIM, RUNS, SEED
+
+from repro.experiments.figures import figure7
+from repro.experiments.report import render_figure
+
+RPS_GRID = [50, 150, 250]
+
+
+def test_figure7(once):
+    data = once(
+        figure7, seed=SEED, runs=RUNS, duration=MICRO_DURATION, trim=MICRO_TRIM,
+        rps_grid=RPS_GRID,
+    )
+    print()
+    print(render_figure(data))
+
+    for rps in RPS_GRID:
+        no_shuffle = data.point("m3", rps).summary.median
+        s5 = data.point("m5", rps).summary.median
+        s10 = data.point("m6", rps).summary.median
+        assert no_shuffle < s5 < s10, f"shuffle ordering broken at {rps} RPS"
+
+    # Shuffling latency shrinks with offered load.
+    s10_by_rps = [data.point("m6", rps).summary.median for rps in RPS_GRID]
+    assert s10_by_rps[0] > s10_by_rps[-1]
+
+    # At 250 RPS the shuffled median is well below 200 ms.
+    assert data.point("m6", 250).summary.median < 0.200
+    # At 50 RPS, S=10 is expensive (SLO-hostile), S=5 usable.
+    assert data.point("m6", 50).summary.median > 2 * data.point("m5", 50).summary.median * 0.5
+    assert data.point("m5", 50).summary.median < 0.300

@@ -1,0 +1,53 @@
+"""Figure 9: baseline performance of the Harness LRS (no proxy).
+
+Paper claims reproduced here:
+* each block of 3 frontends sustains ~250 RPS before saturation;
+* service times stay below 100 ms at low-to-moderate throughput;
+* the latency spread widens at high throughput.
+"""
+
+from __future__ import annotations
+
+from conftest import RUNS, SEED
+
+from repro.cluster.deployments import MACRO_BASELINES
+from repro.experiments.figures import figure9
+from repro.experiments.report import render_figure
+from repro.experiments.runner import run_baseline
+from repro.workload.scenario import ScenarioTimings
+
+GRID = [50, 250, 500, 750, 1000]
+TIMINGS = ScenarioTimings(feedback_seconds=10.0, query_seconds=30.0, trim_seconds=8.0)
+SCALE = 0.005
+
+
+def test_figure9(once):
+    data = once(
+        figure9, seed=SEED, runs=RUNS, timings=TIMINGS, rps_grid=GRID,
+        workload_scale=SCALE,
+    )
+    print()
+    print(render_figure(data))
+
+    # Every baseline handles its rated throughput.
+    for name in ("b1", "b2", "b3", "b4"):
+        config = MACRO_BASELINES[name]
+        point = data.point(name, config.max_rps)
+        assert not point.saturated, f"{name} saturated at {config.max_rps} RPS"
+
+    # Low/moderate throughput: median service time below 100 ms.
+    assert data.point("b1", 50).summary.median < 0.100
+    assert data.point("b2", 500).summary.median < 0.100
+
+    # Latency spread widens as load grows toward the knee.
+    low = data.point("b4", 50).summary
+    high = data.point("b4", 1000).summary
+    assert high.iqr > low.iqr
+
+
+def test_baseline_saturates_past_rating(once):
+    result = once(
+        run_baseline, MACRO_BASELINES["b1"], 500, seed=SEED, runs=1,
+        timings=TIMINGS, workload_scale=SCALE,
+    )
+    assert result.saturated

@@ -1,0 +1,45 @@
+"""Table 2: micro-benchmark configuration matrix.
+
+Regenerates the table's rows and validates that every configuration
+fits the 27-node testbed and that the feature/scale ladder matches
+the paper exactly.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.deployments import CLUSTER_NODE_BUDGET, MICRO_CONFIGS, cluster_plan
+from repro.experiments.report import render_table2
+
+
+def test_table2(benchmark):
+    text = benchmark.pedantic(render_table2, rounds=1, iterations=1)
+    print()
+    print(text)
+
+    rows = {name: config for name, config in MICRO_CONFIGS.items()}
+    # The exact Table 2 matrix.
+    expected = {
+        # name: (enc, item_pseudo, sgx, S, UA, IA, RPS)
+        "m1": (False, False, False, 0, 1, 1, 250),
+        "m2": (True, True, False, 0, 1, 1, 250),
+        "m3": (True, True, True, 0, 1, 1, 250),
+        "m4": (True, False, True, 0, 1, 1, 250),
+        "m5": (True, True, True, 5, 1, 1, 250),
+        "m6": (True, True, True, 10, 1, 1, 250),
+        "m7": (True, True, True, 10, 2, 2, 500),
+        "m8": (True, True, True, 10, 3, 3, 750),
+        "m9": (True, True, True, 10, 4, 4, 1000),
+    }
+    for name, row in expected.items():
+        config = rows[name]
+        assert (
+            config.encryption,
+            config.item_pseudonymization,
+            config.sgx,
+            config.shuffle_size,
+            config.ua_instances,
+            config.ia_instances,
+            config.max_rps,
+        ) == row, f"Table 2 row {name} mismatch"
+        _, nodes = cluster_plan(name)
+        assert nodes <= CLUSTER_NODE_BUDGET

@@ -1,0 +1,55 @@
+"""Table 3: macro-benchmark configuration matrix.
+
+Regenerates the rows and validates the node accounting of §8.2: LRS
+deployments of 7-16 nodes, PProx adding 30 % (f1) to 50 % (f4) of
+infrastructure on top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.deployments import (
+    CLUSTER_NODE_BUDGET,
+    MACRO_BASELINES,
+    MACRO_FULL,
+    cluster_plan,
+)
+from repro.experiments.report import render_table3
+
+
+def test_table3(benchmark):
+    text = benchmark.pedantic(render_table3, rounds=1, iterations=1)
+    print()
+    print(text)
+
+    expected_baselines = {
+        "b1": (3, 7, 250),
+        "b2": (6, 10, 500),
+        "b3": (9, 13, 750),
+        "b4": (12, 16, 1000),
+    }
+    for name, (frontends, lrs_nodes, rps) in expected_baselines.items():
+        config = MACRO_BASELINES[name]
+        assert (config.frontends, config.lrs_nodes, config.max_rps) == (
+            frontends, lrs_nodes, rps,
+        )
+
+    expected_full = {
+        "f1": (3, 1, 1, 250),
+        "f2": (6, 2, 2, 500),
+        "f3": (9, 3, 3, 750),
+        "f4": (12, 4, 4, 1000),
+    }
+    for name, (frontends, ua, ia, rps) in expected_full.items():
+        config = MACRO_FULL[name]
+        assert (config.frontends, config.ua_instances, config.ia_instances,
+                config.max_rps) == (frontends, ua, ia, rps)
+        _, nodes = cluster_plan(name)
+        assert nodes <= CLUSTER_NODE_BUDGET
+
+    # §8.2: "The infrastructure cost of PProx ranges from 30 % (f1) to
+    # 50 % (f4) additional nodes compared to privacy-unprotected
+    # Harness."
+    assert MACRO_FULL["f1"].proxy_overhead == pytest.approx(0.30, abs=0.02)
+    assert MACRO_FULL["f4"].proxy_overhead == pytest.approx(0.50, abs=0.01)

@@ -1,0 +1,23 @@
+"""PProx reproduction: efficient privacy for recommendation-as-a-service.
+
+A from-scratch Python implementation and evaluation harness for the
+Middleware '21 paper by Rosinosky et al.  The package is organised as
+the paper's system is:
+
+* :mod:`repro.crypto` — AES-CTR / RSA-OAEP substrate (SGX-SSL stand-in)
+* :mod:`repro.sgx` — simulated enclaves, attestation, side channels
+* :mod:`repro.simnet` — deterministic discrete-event cluster simulator
+* :mod:`repro.rest` — the LRS REST message model
+* :mod:`repro.lrs` — Universal-Recommender-style CCO engine + Harness
+* :mod:`repro.proxy` — the two-layer pseudonymizing proxy (the paper's
+  contribution)
+* :mod:`repro.client` — the thin user-side library
+* :mod:`repro.privacy` — adversary, unlinkability closure, attacks
+* :mod:`repro.cluster` — Table 2/3 deployments, elastic scaling
+* :mod:`repro.workload` — MovieLens-shaped traces and load injection
+* :mod:`repro.experiments` — reproduction of every figure and table
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,81 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``info``        — package overview and the experiment index;
+* ``reproduce``   — regenerate tables/figures (wraps the example CLI);
+* ``demo``        — run the quickstart scenario;
+* ``validate``    — check the experiment index against the tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_info(_args) -> int:
+    import repro
+    from repro.experiments.registry import EXPERIMENT_INDEX
+
+    print(f"repro {repro.__version__} — PProx reproduction (Middleware '21)")
+    print()
+    print("experiment index:")
+    for experiment in EXPERIMENT_INDEX.values():
+        print(f"  {experiment.identifier:10s} {experiment.title}")
+        print(f"  {'':10s}   bench: {experiment.bench}")
+    print()
+    print("see README.md / DESIGN.md / EXPERIMENTS.md for details")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    import pathlib
+    import runpy
+    import sys as _sys
+
+    script = pathlib.Path(__file__).resolve().parents[2] / "examples" / "reproduce_figures.py"
+    _sys.argv = [str(script)] + args.targets + (["--full"] if args.full else [])
+    runpy.run_path(str(script), run_name="__main__")
+    return 0
+
+
+def _cmd_demo(_args) -> int:
+    import pathlib
+    import runpy
+
+    script = pathlib.Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    runpy.run_path(str(script), run_name="__main__")
+    return 0
+
+
+def _cmd_validate(_args) -> int:
+    from repro.experiments.registry import validate_index
+
+    problems = validate_index()
+    if problems:
+        for problem in problems:
+            print(f"PROBLEM: {problem}")
+        return 1
+    print("experiment index OK: all modules import, all benches exist")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("info", help="package overview").set_defaults(fn=_cmd_info)
+    reproduce = subparsers.add_parser("reproduce", help="regenerate tables/figures")
+    reproduce.add_argument("targets", nargs="*", default=["table2", "table3"])
+    reproduce.add_argument("--full", action="store_true")
+    reproduce.set_defaults(fn=_cmd_reproduce)
+    subparsers.add_parser("demo", help="run the quickstart").set_defaults(fn=_cmd_demo)
+    subparsers.add_parser("validate", help="check the experiment index").set_defaults(
+        fn=_cmd_validate
+    )
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

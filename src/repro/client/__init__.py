@@ -1,0 +1,12 @@
+"""User-side library (the paper's JavaScript shim, in Python)."""
+
+from repro.client.library import CompletedCall, DirectClient, PProxClient
+from repro.client.redirect import RedirectedService, RedirectFrontend
+
+__all__ = [
+    "PProxClient",
+    "DirectClient",
+    "CompletedCall",
+    "RedirectFrontend",
+    "RedirectedService",
+]

@@ -1,0 +1,274 @@
+"""The thin user-side library (paper §2.1 item ➄, §4.2).
+
+"A thin user-side library is easily embeddable in the application or
+web front-end ... and offers the exact same REST API as the LRS.
+This library intercepts, encrypts and forwards clients' API calls to
+the proxy service."  The paper implements it in JavaScript; this is
+the behavioural equivalent driving the simulation: it encrypts
+arguments, keeps the per-request temporary key ``k_u``, decrypts
+responses and strips padding pseudo-items — all transparently for the
+calling application.
+
+:class:`DirectClient` bypasses the proxy and talks straight to the
+LRS; it drives the unprotected baseline configurations (b1-b4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional
+
+from repro.crypto.provider import CryptoProvider
+from repro.proxy import protocol
+from repro.proxy.config import PProxConfig
+from repro.proxy.costs import ProxyCostModel
+from repro.proxy.service import PProxService
+from repro.rest.messages import Request, Response, Verb, make_get, make_post, next_request_id
+from repro.simnet.clock import EventLoop
+from repro.simnet.network import Network
+
+__all__ = ["PProxClient", "DirectClient", "CompletedCall"]
+
+
+@dataclass(frozen=True)
+class CompletedCall:
+    """Result handed to the application when a call completes."""
+
+    verb: str
+    user: str
+    ok: bool
+    items: List[str]
+    started_at: float
+    completed_at: float
+    request_id: int
+
+    @property
+    def latency(self) -> float:
+        """Round-trip service latency as the injector measures it."""
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class PProxClient:
+    """User-side library instance bound to a PProx deployment."""
+
+    loop: EventLoop
+    network: Network
+    provider: CryptoProvider
+    service: PProxService
+    costs: ProxyCostModel
+    rng: random.Random
+    #: Multi-tenant deployments: this application's public keys (the
+    #: shared service has no single client material) and its public
+    #: tenant label, stamped on every request.
+    material: Optional[protocol.ClientMaterial] = None
+    tenant: Optional[str] = None
+    #: Abandon an attempt after this many seconds (None: wait forever).
+    request_timeout: Optional[float] = None
+    #: Re-issue a timed-out call this many times before reporting
+    #: failure.  Retried posts are at-least-once: a retry racing a slow
+    #: original can insert duplicate feedback, which CCO deduplicates.
+    max_retries: int = 0
+    calls_started: int = 0
+    calls_completed: int = 0
+    retries_performed: int = 0
+    timeouts: int = 0
+
+    @property
+    def config(self) -> PProxConfig:
+        """The deployment's configuration."""
+        return self.service.config
+
+    @property
+    def client_material(self) -> protocol.ClientMaterial:
+        """The key material this library encrypts against."""
+        return self.material if self.material is not None else self.service.client_material
+
+    def post(
+        self,
+        user: str,
+        item: str,
+        payload: Optional[str] = None,
+        client_address: Optional[str] = None,
+        on_complete: Optional[Callable[[CompletedCall], None]] = None,
+    ) -> None:
+        """Issue ``post(u, i[, p])`` through the proxy service."""
+        address = client_address or f"client-{user}"
+        request = make_post(user, item, payload, client_address=address)
+        encoded, keys = protocol.client_encode_post(
+            self.provider, self.client_material, self.config, request
+        )
+        if self.tenant is not None:
+            encoded = encoded.with_fields(tenant=self.tenant)
+        self._dispatch(encoded, address, user, keys, on_complete)
+
+    def get(
+        self,
+        user: str,
+        client_address: Optional[str] = None,
+        on_complete: Optional[Callable[[CompletedCall], None]] = None,
+    ) -> None:
+        """Issue ``get(u)`` through the proxy service."""
+        address = client_address or f"client-{user}"
+        request = make_get(user, client_address=address)
+        encoded, keys = protocol.client_encode_get(
+            self.provider, self.client_material, self.config, request
+        )
+        if self.tenant is not None:
+            encoded = encoded.with_fields(tenant=self.tenant)
+        self._dispatch(encoded, address, user, keys, on_complete)
+
+    def _dispatch(
+        self,
+        request: Request,
+        address: str,
+        user: str,
+        keys: protocol.CallKeys,
+        on_complete: Optional[Callable[[CompletedCall], None]],
+    ) -> None:
+        started_at = self.loop.now
+        self.calls_started += 1
+        encrypt_delay = self.costs.client_encrypt_seconds(self.config)
+        call_state = {"settled": False, "attempt": 0}
+
+        def settle(ok: bool, items: List[str], request_id: int) -> None:
+            if call_state["settled"]:
+                return
+            call_state["settled"] = True
+            self.calls_completed += 1
+            if on_complete is not None:
+                on_complete(
+                    CompletedCall(
+                        verb=request.verb,
+                        user=user,
+                        ok=ok,
+                        items=items,
+                        started_at=started_at,
+                        completed_at=self.loop.now,
+                        request_id=request_id,
+                    )
+                )
+
+        def attempt(attempt_request: Request) -> None:
+            attempt_index = call_state["attempt"]
+            entry = self.service.entry()
+
+            def deliver_response(response: Response) -> None:
+                decrypt_delay = self.costs.client_decrypt_seconds(self.config)
+                self.loop.schedule(decrypt_delay, lambda: finish(response))
+
+            def finish(response: Response) -> None:
+                items: List[str] = []
+                if response.ok and request.verb == Verb.GET:
+                    items = protocol.client_decode_response(
+                        self.provider, self.config, response, keys
+                    )
+                settle(response.ok, items, attempt_request.request_id)
+
+            def reply_to_client(response: Response) -> None:
+                self.network.send(
+                    entry.address, address, response, response.size_bytes(),
+                    deliver_response,
+                )
+
+            def on_timeout() -> None:
+                if call_state["settled"] or call_state["attempt"] != attempt_index:
+                    return
+                self.timeouts += 1
+                if call_state["attempt"] < self.max_retries:
+                    call_state["attempt"] += 1
+                    self.retries_performed += 1
+                    # A fresh request id keeps the retry distinct in
+                    # every routing table it traverses.
+                    retry = replace(attempt_request, request_id=next_request_id())
+                    attempt(retry)
+                else:
+                    settle(False, [], attempt_request.request_id)
+
+            self.network.send(
+                address,
+                entry.address,
+                attempt_request,
+                attempt_request.size_bytes(),
+                lambda req: entry.receive_request(req, reply_to_client),
+            )
+            if self.request_timeout is not None:
+                self.loop.schedule(self.request_timeout, on_timeout)
+
+        if encrypt_delay > 0:
+            self.loop.schedule(encrypt_delay, lambda: attempt(request))
+        else:
+            attempt(request)
+
+
+@dataclass
+class DirectClient:
+    """Baseline client: talks to the LRS with no privacy protection."""
+
+    loop: EventLoop
+    network: Network
+    lrs_picker: Callable[[], object]
+    calls_completed: int = 0
+
+    def post(
+        self,
+        user: str,
+        item: str,
+        payload: Optional[str] = None,
+        client_address: Optional[str] = None,
+        on_complete: Optional[Callable[[CompletedCall], None]] = None,
+    ) -> None:
+        """Issue ``post`` directly against an LRS frontend."""
+        address = client_address or f"client-{user}"
+        request = make_post(user, item, payload, client_address=address)
+        self._dispatch(request, address, user, on_complete)
+
+    def get(
+        self,
+        user: str,
+        client_address: Optional[str] = None,
+        on_complete: Optional[Callable[[CompletedCall], None]] = None,
+    ) -> None:
+        """Issue ``get`` directly against an LRS frontend."""
+        address = client_address or f"client-{user}"
+        request = make_get(user, client_address=address)
+        self._dispatch(request, address, user, on_complete)
+
+    def _dispatch(
+        self,
+        request: Request,
+        address: str,
+        user: str,
+        on_complete: Optional[Callable[[CompletedCall], None]],
+    ) -> None:
+        started_at = self.loop.now
+        backend = self.lrs_picker()
+
+        def finish(response: Response) -> None:
+            self.calls_completed += 1
+            if on_complete is not None:
+                on_complete(
+                    CompletedCall(
+                        verb=request.verb,
+                        user=user,
+                        ok=response.ok,
+                        items=list(response.fields.get("items", [])),
+                        started_at=started_at,
+                        completed_at=self.loop.now,
+                        request_id=request.request_id,
+                    )
+                )
+
+        def reply_to_client(response: Response) -> None:
+            self.network.send(
+                backend.address, address, response, response.size_bytes(), finish
+            )
+
+        self.network.send(
+            address,
+            backend.address,
+            request,
+            request.size_bytes(),
+            lambda req: backend.handle(req, reply_to_client),
+        )

@@ -1,0 +1,120 @@
+"""Application-side HTTP redirection (§6.3's history-attack mitigation).
+
+"If such attacks are a concern, a solution is to trade off latency for
+privacy, using an HTTP redirection from the service using RaaS rather
+than issuing queries directly from clients, thereby hiding their IP
+addresses."
+
+:class:`RedirectFrontend` is that relay: it terminates client
+connections at the application's own frontend and re-issues the
+(already encrypted) calls toward the UA layer from a single address.
+The RaaS-side adversary then sees one source for *all* users — the
+per-IP anonymity-set collection that powers the history attack has
+nothing to anchor on.  The cost is one extra network hop plus the
+relay's service time.
+
+Wiring: wrap the deployed service in :class:`RedirectedService` and
+hand that to the :class:`~repro.client.library.PProxClient`; every
+call then enters through the relay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.rest.messages import Request, Response
+from repro.simnet.clock import EventLoop
+from repro.simnet.network import Network
+from repro.simnet.node import SimNode
+
+__all__ = ["RedirectFrontend", "RedirectedService"]
+
+
+@dataclass
+class RedirectFrontend:
+    """The application's relay between its users and the UA layer."""
+
+    loop: EventLoop
+    network: Network
+    rng: random.Random
+    #: Entry-point selector of the PProx deployment.
+    pick_entry: Callable[[], object]
+    address: str = "app-frontend"
+    #: Relay work per direction (header rewrite, connection handling).
+    relay_seconds: float = 0.0003
+    node: SimNode = None  # type: ignore[assignment]
+    relayed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node is None:
+            self.node = SimNode(name=self.address, loop=self.loop, cores=4)
+
+    def receive_request(self, request: Request, reply: Callable[[Response], None]) -> None:
+        """Relay an encrypted request toward the UA layer.
+
+        The outbound hop carries the frontend's address as its source,
+        so the RaaS-side observer never sees the client's address.
+        *reply* is invoked with the response after the return relay
+        work; the caller owns the final client-facing hop.
+        """
+
+        def forward() -> None:
+            entry = self.pick_entry()
+            self.relayed += 1
+            outbound = Request(
+                verb=request.verb,
+                fields=request.fields,
+                request_id=request.request_id,
+                client_address=self.address,
+            )
+
+            def reply_from_ua(response: Response) -> None:
+                self.node.submit(self.relay_seconds, lambda: reply(response))
+
+            self.network.send(
+                self.address, entry.address, outbound, outbound.size_bytes(),
+                lambda req: entry.receive_request(
+                    req,
+                    lambda resp: self.network.send(
+                        entry.address, self.address, resp, resp.size_bytes(),
+                        reply_from_ua,
+                    ),
+                ),
+            )
+
+        self.node.submit(self.relay_seconds, forward)
+
+
+@dataclass
+class RedirectedService:
+    """Entry-point wrapper routing every client call via the relay.
+
+    Exposes the surface :class:`~repro.client.library.PProxClient`
+    uses — ``config``, ``client_material``, ``runtime``, ``entry()`` —
+    returning the relay (which is UA-instance-shaped: it has an
+    ``address`` and ``receive_request``) as the entry point.
+    """
+
+    inner: object
+    frontend: RedirectFrontend
+
+    @property
+    def config(self):
+        """The underlying deployment's configuration."""
+        return self.inner.config
+
+    @property
+    def client_material(self):
+        """The underlying deployment's public key material."""
+        return self.inner.client_material
+
+    @property
+    def runtime(self):
+        """The underlying deployment's runtime wiring."""
+        return self.inner.runtime
+
+    def entry(self) -> RedirectFrontend:
+        """All client traffic enters through the application relay."""
+        return self.frontend

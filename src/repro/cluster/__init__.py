@@ -1,0 +1,26 @@
+"""Cluster deployment descriptions and elastic scaling."""
+
+from repro.cluster.autoscaler import ElasticScaler, ScalingDecision
+from repro.cluster.health import HealthMonitor
+from repro.cluster.deployments import (
+    CLUSTER_NODE_BUDGET,
+    MACRO_BASELINES,
+    MACRO_FULL,
+    MICRO_CONFIGS,
+    MacroConfig,
+    MicroConfig,
+    cluster_plan,
+)
+
+__all__ = [
+    "ElasticScaler",
+    "HealthMonitor",
+    "ScalingDecision",
+    "MicroConfig",
+    "MacroConfig",
+    "MICRO_CONFIGS",
+    "MACRO_BASELINES",
+    "MACRO_FULL",
+    "CLUSTER_NODE_BUDGET",
+    "cluster_plan",
+]

@@ -1,0 +1,55 @@
+"""Health checking of proxy instances (kube-proxy endpoint pruning).
+
+Kubernetes removes failed pods from a Service's endpoint set once
+probes fail; :class:`HealthMonitor` models that: it probes every
+instance's ``alive`` flag on an interval and ejects dead ones from
+their load balancer, so new traffic stops being routed into the void.
+Requests already lost inside a dead instance are recovered by the
+client library's timeout + retry (see
+:class:`repro.client.library.PProxClient`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.proxy.service import PProxService
+from repro.simnet.clock import EventLoop
+
+__all__ = ["HealthMonitor"]
+
+
+@dataclass
+class HealthMonitor:
+    """Periodically ejects dead instances from the balancers."""
+
+    loop: EventLoop
+    service: PProxService
+    interval: float = 2.0
+    ejected: List[str] = field(default_factory=list)
+    _running: bool = False
+
+    def start(self) -> None:
+        """Begin probing."""
+        if self._running:
+            return
+        self._running = True
+        self.loop.schedule(self.interval, self._probe)
+
+    def stop(self) -> None:
+        """Stop probing (the next tick becomes a no-op)."""
+        self._running = False
+
+    def _probe(self) -> None:
+        if not self._running:
+            return
+        for balancer, instances in (
+            (self.service.ua_balancer, self.service.ua_instances),
+            (self.service.ia_balancer, self.service.ia_instances),
+        ):
+            for instance in list(balancer.backends):
+                if not instance.alive:
+                    balancer.remove(instance)
+                    self.ejected.append(instance.name)
+        self.loop.schedule(self.interval, self._probe)

@@ -1,0 +1,118 @@
+"""Everything-as-code deployment manifests (paper §7.2).
+
+The paper's artifact deploys every component "as Docker containers in
+a cluster managed with MaaS and running Kubernetes", configured
+through Helm charts.  This module renders the equivalent declarative
+description for any named configuration of Tables 2/3: one YAML-like
+document per deployment listing pods, placements, resources and the
+wiring between services.  The renderer is pure (configuration in,
+text out) so the manifests can be regression-tested and kept in sync
+with :mod:`repro.cluster.deployments`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.deployments import (
+    MACRO_BASELINES,
+    MACRO_FULL,
+    MICRO_CONFIGS,
+    MacroConfig,
+    MicroConfig,
+    cluster_plan,
+)
+
+__all__ = ["render_manifest", "all_manifest_names"]
+
+
+def all_manifest_names() -> List[str]:
+    """Every configuration a manifest can be rendered for."""
+    return list(MICRO_CONFIGS) + list(MACRO_BASELINES) + list(MACRO_FULL)
+
+
+def _pod(name: str, image: str, node: str, extra: List[str]) -> List[str]:
+    lines = [
+        f"  - name: {name}",
+        f"    image: {image}",
+        f"    node: {node}",
+        "    resources: {cpu: 2, memory: 32Gi}",
+    ]
+    lines += [f"    {line}" for line in extra]
+    return lines
+
+
+def render_manifest(config_name: str, shuffle_timeout: float = 0.25) -> str:
+    """Render the deployment manifest for a named configuration."""
+    roles, node_count = cluster_plan(config_name)
+    lines: List[str] = [
+        f"# PProx reproduction deployment: {config_name}",
+        f"# nodes: {node_count} of 27 (Intel NUC, 2-core i7, SGX-enabled)",
+        "apiVersion: repro/v1",
+        "kind: Deployment",
+        f"name: pprox-{config_name}",
+        "pods:",
+    ]
+
+    if config_name in MICRO_CONFIGS:
+        config: MicroConfig = MICRO_CONFIGS[config_name]
+        pprox = config.pprox_config(shuffle_timeout)
+        for index in range(config.ua_instances):
+            lines += _pod(
+                f"pprox-ua-{index}", "pprox/user-anonymizer:1.0", f"node-ua-{index}",
+                [
+                    "sgx: {enabled: %s, epc: 93Mi}" % str(config.sgx).lower(),
+                    f"env: {{SHUFFLE_SIZE: {pprox.shuffle_size},"
+                    f" SHUFFLE_TIMEOUT_MS: {int(shuffle_timeout * 1000)},"
+                    f" ENCRYPTION: {str(config.encryption).lower()}}}",
+                ],
+            )
+        for index in range(config.ia_instances):
+            lines += _pod(
+                f"pprox-ia-{index}", "pprox/item-anonymizer:1.0", f"node-ia-{index}",
+                [
+                    "sgx: {enabled: %s, epc: 93Mi}" % str(config.sgx).lower(),
+                    f"env: {{SHUFFLE_SIZE: {pprox.shuffle_size},"
+                    f" ITEM_PSEUDONYMIZATION: {str(config.item_pseudonymization).lower()}}}",
+                ],
+            )
+        lines += _pod("lrs-stub", "nginx:stable", "node-stub",
+                      ["env: {STATIC_PAYLOAD_ITEMS: 20}"])
+    else:
+        config = MACRO_BASELINES.get(config_name) or MACRO_FULL[config_name]
+        for index in range(config.ua_instances):
+            lines += _pod(f"pprox-ua-{index}", "pprox/user-anonymizer:1.0",
+                          f"node-ua-{index}", ["sgx: {enabled: true, epc: 93Mi}"])
+        for index in range(config.ia_instances):
+            lines += _pod(f"pprox-ia-{index}", "pprox/item-anonymizer:1.0",
+                          f"node-ia-{index}", ["sgx: {enabled: true, epc: 93Mi}"])
+        for index in range(config.frontends):
+            lines += _pod(f"harness-fe-{index}", "actionml/harness:ur",
+                          f"node-fe-{index}", [])
+        for index in range(3):
+            lines += _pod(f"elasticsearch-{index}", "elasticsearch:7",
+                          f"node-es-{index}", [])
+        lines += _pod("mongo-spark", "mongo+spark:bundle", "node-support", [])
+
+    injectors = [role for role in roles if role.startswith("injector")]
+    for index, _ in enumerate(injectors):
+        lines += _pod(f"injector-{index}", "pprox/loadtest:node", f"node-inj-{index}",
+                      [])
+
+    lines.append("services:")
+    has_proxy = config_name in MICRO_CONFIGS or config.ua_instances > 0
+    if has_proxy:
+        lines += [
+            "  - {name: ua, selector: pprox-ua-*, policy: random}   # kube-proxy",
+            "  - {name: ia, selector: pprox-ia-*, policy: random}",
+        ]
+    if config_name not in MICRO_CONFIGS:
+        lines.append("  - {name: lrs, selector: harness-fe-*, policy: random}")
+    else:
+        lines.append("  - {name: lrs, selector: lrs-stub, policy: direct}")
+    lines += [
+        "logging:",
+        "  collector: fluentd",
+        "  sink: mongodb://observability/logs   # separate from the LRS store",
+    ]
+    return "\n".join(lines)

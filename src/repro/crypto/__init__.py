@@ -1,0 +1,57 @@
+"""Cryptographic substrate for the PProx reproduction.
+
+Everything the protocol in the paper needs, built from scratch:
+
+* :mod:`repro.crypto.aes` — AES block cipher (FIPS-197).
+* :mod:`repro.crypto.ctr` — deterministic (constant-IV) and randomized
+  AES-CTR, matching the paper's use of Intel SGX-SSL.
+* :mod:`repro.crypto.rsa` — RSA-OAEP with Miller-Rabin key generation.
+* :mod:`repro.crypto.keys` — per-layer key material (Table 1).
+* :mod:`repro.crypto.envelope` — fixed-size identifier encoding and
+  padded recommendation lists (§4.3), base64/JSON helpers.
+* :mod:`repro.crypto.provider` — the provider interface with a
+  faithful ``real`` implementation and a cheaper ``fast`` one for
+  large simulations.
+"""
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.ctr import det_decrypt, det_encrypt, rand_decrypt, rand_encrypt
+from repro.crypto.envelope import (
+    FIXED_ID_BYTES,
+    MAX_RECOMMENDATIONS,
+    PaddingError,
+    decode_identifier,
+    encode_identifier,
+    pad_item_list,
+    strip_padding_items,
+)
+from repro.crypto.keys import KeyFactory, LayerKeys, LayerPublicMaterial, SYMMETRIC_KEY_BYTES
+from repro.crypto.provider import CryptoProvider, FastCryptoProvider, RealCryptoProvider
+from repro.crypto.rsa import OaepError, RsaPrivateKey, RsaPublicKey, generate_keypair
+
+__all__ = [
+    "AES",
+    "BLOCK_SIZE",
+    "det_encrypt",
+    "det_decrypt",
+    "rand_encrypt",
+    "rand_decrypt",
+    "FIXED_ID_BYTES",
+    "MAX_RECOMMENDATIONS",
+    "PaddingError",
+    "encode_identifier",
+    "decode_identifier",
+    "pad_item_list",
+    "strip_padding_items",
+    "KeyFactory",
+    "LayerKeys",
+    "LayerPublicMaterial",
+    "SYMMETRIC_KEY_BYTES",
+    "CryptoProvider",
+    "RealCryptoProvider",
+    "FastCryptoProvider",
+    "OaepError",
+    "RsaPublicKey",
+    "RsaPrivateKey",
+    "generate_keypair",
+]

@@ -1,0 +1,107 @@
+"""Wire encodings: fixed-size identifiers and padded payloads.
+
+Section 4.3 of the paper requires that "the size of all encrypted
+messages is constant, by using fixed-size user and item identifiers,
+and padding when necessary", and that recommendation lists have a
+maximal size (20 in the paper's implementation) with pseudo-item
+padding entries that the user-side library discards.  This module
+implements both encodings, plus the base64 helpers the JSON wire
+format needs (paper §5: "the encrypted content is handled and stored
+in the base64 format").
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import List, Sequence
+
+__all__ = [
+    "FIXED_ID_BYTES",
+    "MAX_RECOMMENDATIONS",
+    "PaddingError",
+    "encode_identifier",
+    "decode_identifier",
+    "pad_item_list",
+    "strip_padding_items",
+    "b64",
+    "unb64",
+]
+
+# Fixed on-the-wire size of an encoded user or item identifier.  Large
+# enough for realistic catalog identifiers, small enough to keep the
+# pure-Python crypto fast.
+FIXED_ID_BYTES = 48
+
+# Maximal size of a recommendation list; shorter lists are padded with
+# pseudo-items (paper §4.3 uses the same constant).
+MAX_RECOMMENDATIONS = 20
+
+# Marker prefix for padding pseudo-items.  Real identifiers are padded
+# with a length prefix, so no real identifier can collide with this.
+_PAD_SENTINEL = "\x00pprox-pad:"
+
+
+class PaddingError(ValueError):
+    """Raised when an identifier does not fit the fixed-size encoding."""
+
+
+def encode_identifier(identifier: str) -> bytes:
+    """Encode *identifier* into exactly :data:`FIXED_ID_BYTES` bytes.
+
+    Layout: 2-byte big-endian length, UTF-8 bytes, zero padding.
+    """
+    raw = identifier.encode("utf-8")
+    if len(raw) > FIXED_ID_BYTES - 2:
+        raise PaddingError(
+            f"identifier too long for fixed-size encoding:"
+            f" {len(raw)} > {FIXED_ID_BYTES - 2} bytes"
+        )
+    return len(raw).to_bytes(2, "big") + raw + bytes(FIXED_ID_BYTES - 2 - len(raw))
+
+
+def decode_identifier(blob: bytes) -> str:
+    """Invert :func:`encode_identifier`."""
+    if len(blob) != FIXED_ID_BYTES:
+        raise PaddingError(
+            f"encoded identifier must be {FIXED_ID_BYTES} bytes, got {len(blob)}"
+        )
+    length = int.from_bytes(blob[:2], "big")
+    if length > FIXED_ID_BYTES - 2:
+        raise PaddingError("corrupt identifier length prefix")
+    if any(blob[2 + length:]):
+        raise PaddingError("nonzero bytes in identifier padding")
+    return blob[2:2 + length].decode("utf-8")
+
+
+def pad_item_list(items: Sequence[str], size: int = MAX_RECOMMENDATIONS) -> List[str]:
+    """Pad *items* with pseudo-items up to *size* entries.
+
+    The padding entries are deterministic in position only; their
+    content is a sentinel the user-side library recognises and drops.
+    """
+    if len(items) > size:
+        raise PaddingError(f"item list longer than padded size: {len(items)} > {size}")
+    padded = list(items)
+    for index in range(size - len(items)):
+        padded.append(f"{_PAD_SENTINEL}{index}")
+    return padded
+
+
+def strip_padding_items(items: Sequence[str]) -> List[str]:
+    """Remove pseudo-items inserted by :func:`pad_item_list`."""
+    return [item for item in items if not item.startswith(_PAD_SENTINEL)]
+
+
+def is_padding_item(item: str) -> bool:
+    """True when *item* is a padding pseudo-item."""
+    return item.startswith(_PAD_SENTINEL)
+
+
+def b64(data: bytes) -> str:
+    """Base64-encode *data* for embedding in a JSON payload."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def unb64(text: str) -> bytes:
+    """Invert :func:`b64`."""
+    return base64.b64decode(text.encode("ascii"), validate=True)

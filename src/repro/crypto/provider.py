@@ -1,0 +1,305 @@
+"""Crypto provider interface used by the user-side library and proxies.
+
+Two interchangeable implementations:
+
+* :class:`RealCryptoProvider` — the paper's construction: RSA-OAEP for
+  layer-addressed fields, AES-256-CTR with a constant IV for
+  deterministic pseudonymization, AES-256-CTR with a random IV for the
+  temporary-key protection of recommendation lists.
+* :class:`FastCryptoProvider` — functionally equivalent but built on
+  SHA-256 primitives (Feistel permutation for deterministic
+  pseudonyms, hash-keystream XOR for randomized symmetric encryption).
+  RSA is kept for the asymmetric half.  Used for very large
+  simulations where pure-Python AES would dominate run time.
+
+Both are *real* transformations — ciphertexts are actually unreadable
+without the key — so the privacy test-suite exercises genuine data
+flow, not tags.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.crypto import ctr
+from repro.crypto.keys import SYMMETRIC_KEY_BYTES, LayerKeys, LayerPublicMaterial
+from repro.crypto.rsa import RsaPublicKey
+
+__all__ = [
+    "CryptoProvider",
+    "RealCryptoProvider",
+    "FastCryptoProvider",
+    "SimCryptoProvider",
+]
+
+
+class CryptoProvider:
+    """Abstract interface for the protocol's cryptographic operations."""
+
+    #: Human-readable name used in experiment configuration records.
+    name = "abstract"
+
+    def asym_encrypt(self, public: LayerPublicMaterial, plaintext: bytes) -> bytes:
+        """Randomized public-key encryption addressed to one layer."""
+        raise NotImplementedError
+
+    def asym_decrypt(self, keys: LayerKeys, blob: bytes) -> bytes:
+        """Invert :meth:`asym_encrypt` with the layer's private key."""
+        raise NotImplementedError
+
+    def pseudonymize(self, key: bytes, identifier: bytes) -> bytes:
+        """Deterministic encryption of a fixed-size identifier."""
+        raise NotImplementedError
+
+    def depseudonymize(self, key: bytes, pseudonym: bytes) -> bytes:
+        """Invert :meth:`pseudonymize`."""
+        raise NotImplementedError
+
+    def sym_encrypt(self, key: bytes, plaintext: bytes) -> bytes:
+        """Randomized symmetric encryption (temporary-key payloads)."""
+        raise NotImplementedError
+
+    def sym_decrypt(self, key: bytes, blob: bytes) -> bytes:
+        """Invert :meth:`sym_encrypt`."""
+        raise NotImplementedError
+
+    def new_temporary_key(self) -> bytes:
+        """Fresh per-request temporary key ``k_u``."""
+        return os.urandom(SYMMETRIC_KEY_BYTES)
+
+
+@dataclass
+class RealCryptoProvider(CryptoProvider):
+    """The paper's construction: RSA-OAEP + AES-256-CTR."""
+
+    rng_bytes: Callable[[int], bytes] = field(default=os.urandom)
+
+    name = "real"
+
+    def asym_encrypt(self, public: LayerPublicMaterial, plaintext: bytes) -> bytes:
+        key: RsaPublicKey = public.public_key
+        if len(plaintext) <= key.max_message_bytes:
+            # Direct OAEP; mark with a 0x00 prefix.
+            return b"\x00" + key.encrypt(plaintext, self.rng_bytes)
+        # Hybrid envelope for payloads larger than OAEP capacity:
+        # RSA-OAEP(session key) || AES-CTR(payload).
+        session_key = self.rng_bytes(SYMMETRIC_KEY_BYTES)
+        header = key.encrypt(session_key, self.rng_bytes)
+        body = ctr.rand_encrypt(session_key, plaintext, self.rng_bytes)
+        return b"\x01" + header + body
+
+    def asym_decrypt(self, keys: LayerKeys, blob: bytes) -> bytes:
+        if not blob:
+            raise ValueError("empty asymmetric ciphertext")
+        kind, rest = blob[0], blob[1:]
+        if kind == 0:
+            return keys.private_key.decrypt(rest)
+        if kind == 1:
+            modulus_bytes = keys.private_key.modulus_bytes
+            session_key = keys.private_key.decrypt(rest[:modulus_bytes])
+            return ctr.rand_decrypt(session_key, rest[modulus_bytes:])
+        raise ValueError(f"unknown asymmetric envelope kind {kind}")
+
+    def pseudonymize(self, key: bytes, identifier: bytes) -> bytes:
+        return ctr.det_encrypt(key, identifier)
+
+    def depseudonymize(self, key: bytes, pseudonym: bytes) -> bytes:
+        return ctr.det_decrypt(key, pseudonym)
+
+    def sym_encrypt(self, key: bytes, plaintext: bytes) -> bytes:
+        return ctr.rand_encrypt(key, plaintext, self.rng_bytes)
+
+    def sym_decrypt(self, key: bytes, blob: bytes) -> bytes:
+        return ctr.rand_decrypt(key, blob)
+
+    def new_temporary_key(self) -> bytes:
+        return self.rng_bytes(SYMMETRIC_KEY_BYTES)
+
+
+def _hash_keystream(key: bytes, iv: bytes, length: int) -> bytes:
+    """SHA-256-based keystream: H(key || iv || counter) blocks."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(hashlib.sha256(key + iv + counter.to_bytes(4, "big")).digest())
+        counter += 1
+    return bytes(out[:length])
+
+
+def _feistel_round_key(key: bytes, round_index: int) -> bytes:
+    return hmac.new(key, b"feistel-round-%d" % round_index, "sha256").digest()
+
+
+def _feistel(key: bytes, block: bytes, rounds: range) -> bytes:
+    """Balanced Feistel permutation over an even-length block.
+
+    Deterministic and invertible (run *rounds* reversed to invert), so
+    it plays the role AES-CTR-with-constant-IV plays in the paper: a
+    keyed pseudonym that the owning layer can also reverse.
+    """
+    if len(block) % 2:
+        raise ValueError("Feistel block length must be even")
+    half = len(block) // 2
+    left, right = block[:half], block[half:]
+    for round_index in rounds:
+        round_key = _feistel_round_key(key, round_index)
+        digest = hmac.new(round_key, right, "sha256").digest()
+        while len(digest) < half:
+            digest += hmac.new(round_key, digest, "sha256").digest()
+        new_left = right
+        new_right = bytes(a ^ b for a, b in zip(left, digest[:half]))
+        left, right = new_left, new_right
+    return left + right
+
+
+_FEISTEL_ROUNDS = 4
+
+
+@dataclass
+class FastCryptoProvider(CryptoProvider):
+    """Hash-based provider: same interface, ~10x cheaper symmetric ops."""
+
+    rng_bytes: Callable[[int], bytes] = field(default=os.urandom)
+
+    name = "fast"
+
+    def asym_encrypt(self, public: LayerPublicMaterial, plaintext: bytes) -> bytes:
+        key: RsaPublicKey = public.public_key
+        session_key = self.rng_bytes(SYMMETRIC_KEY_BYTES)
+        header = key.encrypt(session_key, self.rng_bytes)
+        iv = self.rng_bytes(16)
+        body = iv + bytes(
+            a ^ b for a, b in zip(plaintext, _hash_keystream(session_key, iv, len(plaintext)))
+        )
+        return header + body
+
+    def asym_decrypt(self, keys: LayerKeys, blob: bytes) -> bytes:
+        modulus_bytes = keys.private_key.modulus_bytes
+        if len(blob) < modulus_bytes + 16:
+            raise ValueError("asymmetric ciphertext too short")
+        session_key = keys.private_key.decrypt(blob[:modulus_bytes])
+        iv = blob[modulus_bytes:modulus_bytes + 16]
+        body = blob[modulus_bytes + 16:]
+        return bytes(a ^ b for a, b in zip(body, _hash_keystream(session_key, iv, len(body))))
+
+    def pseudonymize(self, key: bytes, identifier: bytes) -> bytes:
+        # Pad odd-length input with an explicit marker byte pair.
+        padded = identifier + (b"\x01" if len(identifier) % 2 else b"\x00\x00")
+        return _feistel(key, padded, range(_FEISTEL_ROUNDS))
+
+    def depseudonymize(self, key: bytes, pseudonym: bytes) -> bytes:
+        # Inverting a Feistel network: swap halves, run rounds reversed,
+        # swap back.  Equivalently run with reversed round order on the
+        # swapped block.
+        half = len(pseudonym) // 2
+        swapped = pseudonym[half:] + pseudonym[:half]
+        out = _feistel(key, swapped, range(_FEISTEL_ROUNDS - 1, -1, -1))
+        out = out[half:] + out[:half]
+        if out.endswith(b"\x00\x00"):
+            return out[:-2]
+        if out.endswith(b"\x01"):
+            return out[:-1]
+        raise ValueError("corrupt pseudonym padding")
+
+    def sym_encrypt(self, key: bytes, plaintext: bytes) -> bytes:
+        iv = self.rng_bytes(16)
+        return iv + bytes(
+            a ^ b for a, b in zip(plaintext, _hash_keystream(key, iv, len(plaintext)))
+        )
+
+    def sym_decrypt(self, key: bytes, blob: bytes) -> bytes:
+        if len(blob) < 16:
+            raise ValueError("symmetric ciphertext too short")
+        iv, body = blob[:16], blob[16:]
+        return bytes(a ^ b for a, b in zip(body, _hash_keystream(key, iv, len(body))))
+
+    def new_temporary_key(self) -> bytes:
+        return self.rng_bytes(SYMMETRIC_KEY_BYTES)
+
+
+@dataclass
+class SimCryptoProvider(CryptoProvider):
+    """Simulation stand-in: keyed BLAKE2 pseudonyms + token envelopes.
+
+    For very large performance simulations (hundreds of thousands of
+    requests) even the hash-based provider's RSA operations dominate
+    Python run time.  This provider replaces the *asymmetric* envelope
+    with an in-process token registry that enforces key possession
+    (decryption checks the private key's modulus) and the symmetric
+    primitives with keyed BLAKE2 — still real keyed transformations at
+    C speed.  Time *costs* of the paper's crypto are charged by the
+    simulator's cost model regardless of the provider in use, so
+    latency results are identical; this provider only cuts host CPU.
+
+    Not a cryptographic construction — use :class:`RealCryptoProvider`
+    or :class:`FastCryptoProvider` anywhere security is under test.
+    """
+
+    rng_bytes: Callable[[int], bytes] = field(default=os.urandom)
+
+    name = "sim"
+
+    def __post_init__(self) -> None:
+        self._asym_registry: dict = {}
+        self._asym_counter = 0
+        self._reverse_pseudonyms: dict = {}
+
+    def asym_encrypt(self, public: LayerPublicMaterial, plaintext: bytes) -> bytes:
+        self._asym_counter += 1
+        token = b"ASYM:%d" % self._asym_counter
+        self._asym_registry[token] = (public.public_key.n, plaintext)
+        # Pad the token to a plausible envelope size so wire sizes stay
+        # constant and realistic for the adversary's observations.
+        return token.ljust(public.public_key.modulus_bytes + 16, b"\x00")
+
+    def asym_decrypt(self, keys: LayerKeys, blob: bytes) -> bytes:
+        token = blob.rstrip(b"\x00")
+        entry = self._asym_registry.get(token)
+        if entry is None:
+            raise ValueError("unknown asymmetric token (corrupted ciphertext?)")
+        modulus, plaintext = entry
+        if modulus != keys.private_key.n:
+            raise ValueError("decryption attempted with the wrong layer's key")
+        return plaintext
+
+    def pseudonymize(self, key: bytes, identifier: bytes) -> bytes:
+        pseudonym = hashlib.blake2s(identifier, key=key[:32], digest_size=16).digest()
+        self._reverse_pseudonyms[(key, pseudonym)] = identifier
+        return pseudonym
+
+    def depseudonymize(self, key: bytes, pseudonym: bytes) -> bytes:
+        identifier = self._reverse_pseudonyms.get((key, pseudonym))
+        if identifier is None:
+            raise ValueError("unknown pseudonym for this key")
+        return identifier
+
+    def sym_encrypt(self, key: bytes, plaintext: bytes) -> bytes:
+        iv = self.rng_bytes(16)
+        stream = _blake_keystream(key, iv, len(plaintext))
+        return iv + bytes(a ^ b for a, b in zip(plaintext, stream))
+
+    def sym_decrypt(self, key: bytes, blob: bytes) -> bytes:
+        if len(blob) < 16:
+            raise ValueError("symmetric ciphertext too short")
+        iv, body = blob[:16], blob[16:]
+        stream = _blake_keystream(key, iv, len(body))
+        return bytes(a ^ b for a, b in zip(body, stream))
+
+    def new_temporary_key(self) -> bytes:
+        return self.rng_bytes(SYMMETRIC_KEY_BYTES)
+
+
+def _blake_keystream(key: bytes, iv: bytes, length: int) -> bytes:
+    """Keyed-BLAKE2 keystream (fast path for the sim provider)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(
+            hashlib.blake2s(iv + counter.to_bytes(4, "big"), key=key[:32]).digest()
+        )
+        counter += 1
+    return bytes(out[:length])

@@ -1,0 +1,35 @@
+"""Experiment runners and figure reproduction harness."""
+
+from repro.experiments.figures import (
+    MICRO_RPS_GRID,
+    SCALING_RPS_GRID,
+    FigureData,
+    FigurePoint,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+)
+from repro.experiments.runner import RunResult, run_baseline, run_full, run_micro
+from repro.experiments.report import render_figure, render_medians, render_table2, render_table3
+
+__all__ = [
+    "FigureData",
+    "FigurePoint",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "MICRO_RPS_GRID",
+    "SCALING_RPS_GRID",
+    "RunResult",
+    "run_micro",
+    "run_baseline",
+    "run_full",
+    "render_figure",
+    "render_medians",
+    "render_table2",
+    "render_table3",
+]

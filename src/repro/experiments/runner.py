@@ -1,0 +1,266 @@
+"""Experiment runners: one function per benchmark family.
+
+Each runner assembles a fresh simulated deployment from a named
+configuration, drives the paper's workload against it, and returns
+latency distributions measured with the paper's methodology
+(aggregation over repeated runs, 15 s-style trimming, saturation
+cut-off).  Runners are deterministic in (config, rps, seed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.client.library import DirectClient, PProxClient
+from repro.cluster.deployments import MacroConfig, MicroConfig
+from repro.crypto.provider import CryptoProvider, SimCryptoProvider
+from repro.lrs.engine import HarnessEngine
+from repro.lrs.service import HarnessService
+from repro.lrs.stub import StubLrs, make_pseudonymous_payload
+from repro.proxy.config import PProxConfig
+from repro.proxy.costs import DEFAULT_COSTS, ProxyCostModel
+from repro.proxy.service import build_pprox
+from repro.simnet.clock import EventLoop
+from repro.simnet.metrics import CandlestickSummary, LatencyRecorder, trim_window
+from repro.simnet.network import Network
+from repro.simnet.rng import RngRegistry
+from repro.workload.injector import InjectionReport, Injector
+from repro.workload.movielens import SyntheticMovieLens
+from repro.workload.scenario import ScenarioTimings, TwoPhaseScenario
+
+__all__ = ["RunResult", "run_micro", "run_baseline", "run_full"]
+
+#: Number of repetitions aggregated per (configuration, RPS) pair.
+#: The paper uses 6; the default here trades a little smoothing for
+#: benchmark wall-clock time.
+DEFAULT_RUNS = 2
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of one (configuration, RPS) measurement."""
+
+    config_name: str
+    rps: float
+    recorder: LatencyRecorder
+    window_latencies: List[float] = field(default_factory=list)
+    reports: List[InjectionReport] = field(default_factory=list)
+    saturated: bool = False
+
+    def summary(self) -> CandlestickSummary:
+        """Candlestick over the trimmed, aggregated samples."""
+        return self.recorder.summarize(self.window_latencies)
+
+    @property
+    def median(self) -> float:
+        """Median trimmed latency in seconds."""
+        return self.summary().median
+
+
+def _providers(rng: RngRegistry, provider: Optional[CryptoProvider]) -> CryptoProvider:
+    if provider is not None:
+        return provider
+    return SimCryptoProvider(rng_bytes=rng.bytes_fn("provider"))
+
+
+def run_micro(
+    config: MicroConfig,
+    rps: float,
+    seed: int = 1,
+    runs: int = DEFAULT_RUNS,
+    duration: float = 30.0,
+    trim: float = 8.0,
+    provider: Optional[CryptoProvider] = None,
+    costs: ProxyCostModel = DEFAULT_COSTS,
+    shuffle_timeout: float = 0.25,
+    user_count: int = 500,
+    pprox_override: Optional[PProxConfig] = None,
+    verb: str = "get",
+) -> RunResult:
+    """Micro-benchmark: PProx in front of the nginx stub (§8.1).
+
+    Injects only ``get`` requests — "we focus on reporting the
+    performance of get requests, as these are the costlier in terms of
+    encryption and payload".  *pprox_override* substitutes an explicit
+    proxy configuration (ablations of knobs Table 2 does not vary).
+    """
+    result = RunResult(config_name=config.name, rps=rps, recorder=LatencyRecorder("micro"))
+    for run_index in range(runs):
+        rng = RngRegistry(seed=seed * 1000 + run_index)
+        loop = EventLoop()
+        network = Network(loop=loop, rng=rng.stream("net"), record_flows=False)
+        stub = StubLrs(loop=loop, rng=rng.stream("stub"))
+        crypto = _providers(rng, provider)
+        pprox_config = pprox_override or config.pprox_config(shuffle_timeout)
+        service = build_pprox(
+            loop,
+            network,
+            rng,
+            pprox_config,
+            lrs_picker=lambda: stub,
+            provider=crypto,
+            costs=costs,
+        )
+        if pprox_config.encryption and pprox_config.item_pseudonymization:
+            # The static payload must look like a captured Harness
+            # response: pseudonymous item identifiers.
+            stub.items = make_pseudonymous_payload(
+                crypto, service.provisioner.layer_keys["IA"].symmetric_key
+            )
+        client = PProxClient(
+            loop=loop,
+            network=network,
+            provider=crypto,
+            service=service,
+            costs=costs,
+            rng=rng.stream("client"),
+        )
+        injector = Injector(loop, rng.stream("injector"), recorder=LatencyRecorder("gets"))
+        users = [f"user-{index}" for index in range(user_count)]
+        user_rng = rng.stream("users")
+
+        if verb == "get":
+            def issue(on_complete) -> None:
+                client.get(user_rng.choice(users), on_complete=on_complete)
+        elif verb == "post":
+            def issue(on_complete) -> None:
+                client.post(user_rng.choice(users), f"item-{user_rng.randrange(200)}",
+                            on_complete=on_complete)
+        else:
+            raise ValueError(f"unknown verb {verb!r}; expected 'get' or 'post'")
+
+        start, end = injector.inject(rps, duration, issue)
+        loop.run()
+        loop.run_until(end + 5.0)
+        loop.run()
+
+        window = trim_window(start, end, trim)
+        result.recorder.extend(injector.recorder)
+        result.window_latencies.extend(injector.recorder.trimmed(*window))
+        result.reports.append(injector.report)
+
+    result.saturated = _is_saturated(result)
+    return result
+
+
+def _build_macro_stack(
+    config: MacroConfig,
+    rng: RngRegistry,
+    provider: Optional[CryptoProvider],
+    costs: ProxyCostModel,
+    shuffle_timeout: float,
+):
+    """Assemble Harness (+ optional PProx) and the matching client."""
+    loop = EventLoop()
+    network = Network(loop=loop, rng=rng.stream("net"), record_flows=False)
+    harness = HarnessService(
+        loop=loop, rng=rng.stream("lrs"), frontend_count=config.frontends,
+        engine=HarnessEngine(),
+    )
+    if config.with_proxy:
+        crypto = _providers(rng, provider)
+        service = build_pprox(
+            loop,
+            network,
+            rng,
+            config.pprox_config(shuffle_timeout),
+            lrs_picker=harness.pick_frontend,
+            provider=crypto,
+            costs=costs,
+        )
+        client = PProxClient(
+            loop=loop,
+            network=network,
+            provider=crypto,
+            service=service,
+            costs=costs,
+            rng=rng.stream("client"),
+        )
+    else:
+        client = DirectClient(loop=loop, network=network, lrs_picker=harness.pick_frontend)
+    return loop, network, harness, client
+
+
+def _run_macro(
+    config: MacroConfig,
+    rps: float,
+    seed: int,
+    runs: int,
+    timings: ScenarioTimings,
+    provider: Optional[CryptoProvider],
+    costs: ProxyCostModel,
+    shuffle_timeout: float,
+    workload_scale: float,
+) -> RunResult:
+    result = RunResult(config_name=config.name, rps=rps, recorder=LatencyRecorder("macro"))
+    for run_index in range(runs):
+        rng = RngRegistry(seed=seed * 1000 + run_index)
+        loop, _, harness, client = _build_macro_stack(
+            config, rng, provider, costs, shuffle_timeout
+        )
+        workload = SyntheticMovieLens(seed=seed, scale=workload_scale)
+        scenario = TwoPhaseScenario(
+            loop=loop,
+            rng=rng.stream("scenario"),
+            client=client,
+            lrs=harness,
+            workload=workload,
+            timings=timings,
+        )
+        outcome = scenario.run(query_rate=rps)
+        result.recorder.extend(outcome.recorder)
+        result.window_latencies.extend(outcome.trimmed_latencies())
+        result.reports.append(outcome.report)
+    result.saturated = _is_saturated(result)
+    return result
+
+
+def run_baseline(
+    config: MacroConfig,
+    rps: float,
+    seed: int = 1,
+    runs: int = DEFAULT_RUNS,
+    timings: Optional[ScenarioTimings] = None,
+    workload_scale: float = 0.01,
+) -> RunResult:
+    """Macro baseline: unprotected Harness (Figure 9)."""
+    if config.with_proxy:
+        raise ValueError(f"{config.name} is not a baseline configuration")
+    return _run_macro(
+        config, rps, seed, runs, timings or ScenarioTimings(),
+        provider=None, costs=DEFAULT_COSTS, shuffle_timeout=0.25,
+        workload_scale=workload_scale,
+    )
+
+
+def run_full(
+    config: MacroConfig,
+    rps: float,
+    seed: int = 1,
+    runs: int = DEFAULT_RUNS,
+    timings: Optional[ScenarioTimings] = None,
+    provider: Optional[CryptoProvider] = None,
+    costs: ProxyCostModel = DEFAULT_COSTS,
+    shuffle_timeout: float = 0.25,
+    workload_scale: float = 0.01,
+) -> RunResult:
+    """Full system: PProx + Harness (Figure 10)."""
+    if not config.with_proxy:
+        raise ValueError(f"{config.name} is not a full-system configuration")
+    return _run_macro(
+        config, rps, seed, runs, timings or ScenarioTimings(),
+        provider=provider, costs=costs, shuffle_timeout=shuffle_timeout,
+        workload_scale=workload_scale,
+    )
+
+
+def _is_saturated(result: RunResult) -> bool:
+    """The paper's cut-off: drastic latency growth / lost completions."""
+    if any(r.issued and r.completion_ratio < 0.95 for r in result.reports):
+        return True
+    if not result.window_latencies:
+        return True
+    ordered = sorted(result.window_latencies)
+    return ordered[len(ordered) // 2] > 0.6

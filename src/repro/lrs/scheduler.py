@@ -1,0 +1,65 @@
+"""Periodic model training (the paper's recurring Spark job).
+
+Harness rebuilds the Universal Recommender model with "periodic runs
+of Apache Spark ... including new inputs fetched from MongoDB" (§7).
+:class:`TrainingScheduler` models that: on a fixed interval it runs a
+training job on the support node (the Spark host), charging a
+duration proportional to the number of accumulated events, and swaps
+the fresh model in on completion.  Queries keep being served from the
+previous model while training runs — exactly Harness's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.lrs.service import HarnessService
+from repro.simnet.clock import EventLoop
+
+__all__ = ["TrainingScheduler"]
+
+
+@dataclass
+class TrainingScheduler:
+    """Retrains the engine every *interval* simulated seconds."""
+
+    loop: EventLoop
+    harness: HarnessService
+    interval: float = 60.0
+    #: Spark job duration: fixed startup plus per-event cost.
+    base_seconds: float = 2.0
+    per_event_seconds: float = 0.0002
+    completions: List[float] = field(default_factory=list)
+    _running: bool = False
+    training_in_progress: bool = False
+
+    def start(self) -> None:
+        """Schedule the first run."""
+        if self._running:
+            return
+        self._running = True
+        self.loop.schedule(self.interval, self._kick)
+
+    def stop(self) -> None:
+        """Stop scheduling further runs."""
+        self._running = False
+
+    def job_duration(self) -> float:
+        """Duration of a training job over the current event count."""
+        return self.base_seconds + self.per_event_seconds * self.harness.engine.event_count
+
+    def _kick(self) -> None:
+        if not self._running:
+            return
+        if not self.training_in_progress:
+            self.training_in_progress = True
+            # The Spark job occupies the support pool for its duration;
+            # the previous model keeps serving queries meanwhile.
+            self.harness.support.submit(self.job_duration(), self._finish)
+        self.loop.schedule(self.interval, self._kick)
+
+    def _finish(self) -> None:
+        self.harness.train()
+        self.training_in_progress = False
+        self.completions.append(self.loop.now)

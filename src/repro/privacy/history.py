@@ -1,0 +1,88 @@
+"""History-based attack on shuffling (paper §6.3, "Limitations").
+
+"An adversary targeting a specific IP address could collect over time
+a series of associated sets of S queries to the LRS.  If the
+corresponding user repeatedly receives the same recommendations ...
+the adversary could identify recurrent pseudonymized item identifiers
+and associate them with that IP address."
+
+:class:`HistoryAttack` implements that intersection attack: each
+round, the adversary observes the anonymity set of ``S`` response
+item-sets that *might* belong to the target IP, and intersects the
+candidate universe across rounds.  With a stable target profile, the
+candidate set converges on the target's pseudonymized items; the
+paper's proposed mitigation (hiding the client IP behind an HTTP
+redirection) removes the per-round anonymity sets and defeats the
+attack — both behaviours are covered by the test-suite.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Set
+
+__all__ = ["HistoryAttack", "HistoryAttackResult"]
+
+
+@dataclass(frozen=True)
+class HistoryAttackResult:
+    """Outcome of an intersection campaign."""
+
+    rounds: int
+    candidates: FrozenSet[str]
+    target_items: FrozenSet[str]
+
+    @property
+    def converged(self) -> bool:
+        """True when the candidate set collapsed onto the target's items."""
+        return bool(self.candidates) and self.candidates == self.target_items
+
+    @property
+    def precision(self) -> float:
+        """|candidates ∩ target| / |candidates|."""
+        if not self.candidates:
+            return 0.0
+        return len(self.candidates & self.target_items) / len(self.candidates)
+
+
+@dataclass
+class HistoryAttack:
+    """Intersection attack against a target IP's recurring responses."""
+
+    shuffle_size: int
+    seed: int = 7
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def run(
+        self,
+        target_responses: Sequence[Set[str]],
+        decoy_response_pool: Sequence[Set[str]],
+    ) -> HistoryAttackResult:
+        """Run one campaign.
+
+        *target_responses* are the (pseudonymized) item sets returned
+        to the target across rounds; each round the adversary sees the
+        target's set mixed indistinguishably with ``S - 1`` decoy sets
+        drawn from *decoy_response_pool*.  It intersects the union of
+        each round's candidates across rounds.
+        """
+        if not target_responses:
+            raise ValueError("need at least one round of responses")
+        candidates: Optional[Set[str]] = None
+        for target_set in target_responses:
+            round_sets: List[Set[str]] = [set(target_set)]
+            for _ in range(self.shuffle_size - 1):
+                round_sets.append(set(self._rng.choice(decoy_response_pool)))
+            self._rng.shuffle(round_sets)
+            round_universe: Set[str] = set().union(*round_sets)
+            candidates = round_universe if candidates is None else candidates & round_universe
+        target_items: Set[str] = set().union(*[set(r) for r in target_responses])
+        return HistoryAttackResult(
+            rounds=len(target_responses),
+            candidates=frozenset(candidates or set()),
+            target_items=frozenset(target_items),
+        )

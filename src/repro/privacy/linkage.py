@@ -1,0 +1,118 @@
+"""Empirical validation of the shuffling bound (paper §6.2).
+
+The analysis: with a shuffle buffer of size ``S`` and ``I`` instances
+in the downstream layer, the probability that the adversary correctly
+matches an inbound request to the corresponding outbound request is
+``1 / (S * I)`` — "packets are encrypted and of the same size and,
+therefore, all outbound packets ... are equally likely to correspond
+to R".
+
+:class:`ShuffleLinkageExperiment` reproduces the abstraction with the
+*actual* :class:`repro.proxy.shuffler.ShuffleBuffer` and load-balancer
+components: a stream of indistinguishable requests flows through a
+shuffling stage that spreads over ``I`` downstream instances, the
+adversary guesses the outbound message for a random target using its
+best strategy (uniform over the indistinguishability set), and the
+empirical success rate is compared with theory.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.proxy.shuffler import ShuffleBuffer
+from repro.simnet.clock import EventLoop
+
+__all__ = ["ShuffleLinkageExperiment", "LinkageOutcome"]
+
+
+@dataclass(frozen=True)
+class LinkageOutcome:
+    """Result of a linkage experiment."""
+
+    shuffle_size: int
+    instances: int
+    trials: int
+    successes: int
+
+    @property
+    def empirical_probability(self) -> float:
+        """Measured linkage success rate."""
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def theoretical_probability(self) -> float:
+        """The paper's bound 1 / (S * I)."""
+        return 1.0 / (self.shuffle_size * self.instances)
+
+
+@dataclass
+class ShuffleLinkageExperiment:
+    """Monte-Carlo measurement of the adversary's linkage success."""
+
+    shuffle_size: int
+    instances: int
+    seed: int = 42
+    timeout: float = 10.0
+
+    def run(self, trials: int = 2000) -> LinkageOutcome:
+        """Run *trials* full-batch episodes and count correct guesses.
+
+        Each episode: ``S * I`` indistinguishable requests arrive (one
+        full batch per downstream instance, the steady-state regime of
+        §6.2); the shuffling stage releases them in random order and
+        the balancer spreads them over instances.  The adversary picks
+        a random target among the inbound requests and guesses which
+        outbound message is the target's, knowing everything except
+        the shuffle permutation: the guess is uniform over the
+        ``S * I`` outbound candidates.
+        """
+        rng = random.Random(self.seed)
+        successes = 0
+        for _ in range(trials):
+            successes += 1 if self._episode(rng) else 0
+        return LinkageOutcome(
+            shuffle_size=self.shuffle_size,
+            instances=self.instances,
+            trials=trials,
+            successes=successes,
+        )
+
+    def _episode(self, rng: random.Random) -> bool:
+        loop = EventLoop()
+        released: List[Tuple[int, int]] = []  # (request tag, position)
+        destinations: Dict[int, int] = {}
+        counter = {"position": 0}
+
+        def release(tag: int) -> None:
+            position = counter["position"]
+            counter["position"] += 1
+            # kube-proxy random balancing over downstream instances.
+            destinations[tag] = rng.randrange(self.instances)
+            released.append((tag, position))
+
+        # One shuffling buffer per upstream instance; the adversary's
+        # view aggregates all outbound messages of the batch window.
+        buffers = [
+            ShuffleBuffer(
+                loop=loop,
+                rng=rng,
+                size=self.shuffle_size,
+                timeout=self.timeout,
+                release=release,
+                name=f"ua-{index}",
+            )
+            for index in range(self.instances)
+        ]
+        total = self.shuffle_size * self.instances
+        for tag in range(total):
+            buffers[tag % self.instances].add(tag)
+        loop.run()
+
+        target = rng.randrange(total)
+        # Adversary strategy: all outbound messages in the window are
+        # equally likely; guess one uniformly.
+        guess_tag, _ = released[rng.randrange(len(released))]
+        return guess_tag == target

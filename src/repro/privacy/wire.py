@@ -1,0 +1,67 @@
+"""Wire-level indistinguishability checks (paper §4.3).
+
+"We first ensure that the adversary cannot distinguish between
+encrypted messages ... The size of all encrypted messages is
+constant, by using fixed-size user and item identifiers, and padding
+when necessary."  These helpers classify observed flows by hop and
+verify the constant-size property, giving the test-suite (and
+operators) a concrete leak detector.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.simnet.network import FlowRecord
+
+__all__ = ["hop_of", "flow_size_profile", "constant_size_violations"]
+
+
+def hop_of(record: FlowRecord) -> Tuple[str, str]:
+    """Classify a flow's endpoints into role classes.
+
+    Addresses follow the deployment naming scheme: ``client-*``,
+    ``pprox-ua-*``, ``pprox-ia-*``, ``harness-fe-*`` / ``lrs-stub``.
+    """
+
+    def role(address: str) -> str:
+        if address.startswith("client"):
+            return "client"
+        if address.startswith("pprox-ua"):
+            return "ua"
+        if address.startswith("pprox-ia"):
+            return "ia"
+        return "lrs"
+
+    return role(record.source), role(record.destination)
+
+
+def flow_size_profile(records: Sequence[FlowRecord]) -> Dict[Tuple[str, str], Set[int]]:
+    """Distinct message sizes observed per hop class."""
+    profile: Dict[Tuple[str, str], Set[int]] = defaultdict(set)
+    for record in records:
+        profile[hop_of(record)].add(record.size_bytes)
+    return dict(profile)
+
+
+def constant_size_violations(
+    records: Sequence[FlowRecord],
+    hops: Sequence[Tuple[str, str]] = (("client", "ua"), ("ua", "ia"), ("ia", "ua"), ("ua", "client")),
+    tolerance: int = 0,
+) -> List[str]:
+    """Hops whose message sizes vary more than *tolerance* bytes.
+
+    The protected hops are those between the client and the IA layer:
+    sizes there must not depend on identifiers or list contents.
+    (IA<->LRS flows are pseudonymous by construction, so their sizes
+    need not be padded.)
+    """
+    profile = flow_size_profile(records)
+    violations = []
+    for hop in hops:
+        sizes = profile.get(hop, set())
+        if len(sizes) > 1 and max(sizes) - min(sizes) > tolerance:
+            violations.append(f"{hop[0]}->{hop[1]}: sizes {sorted(sizes)}")
+    return violations

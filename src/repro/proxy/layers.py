@@ -1,0 +1,316 @@
+"""The UA and IA proxy layer instances (data plane).
+
+Each instance models one proxy enclave and its host node, as
+described in §5: an event-driven server (outside the enclave) feeding
+a pool of data-processing workers (inside the enclave) through a
+concurrent queue, a routing table ``T`` for pending requests, and a
+shuffle buffer for the direction that instance randomizes (UA:
+requests, IA: responses).
+
+Processing is charged to the instance's 2-core
+:class:`repro.simnet.node.SimNode` using the calibrated
+:class:`repro.proxy.costs.ProxyCostModel`; transformations perform the
+*actual* cryptographic rewrites from :mod:`repro.proxy.protocol`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.crypto.keys import LayerKeys
+from repro.crypto.provider import CryptoProvider
+from repro.proxy import protocol
+from repro.proxy.config import PProxConfig
+from repro.proxy.costs import ProxyCostModel
+from repro.proxy.shuffler import ShuffleBuffer
+from repro.rest.messages import Request, Response
+from repro.rest.routing import RoutingTable
+from repro.sgx.enclave import Enclave
+from repro.simnet.clock import EventLoop
+from repro.simnet.loadbalancer import LoadBalancer
+from repro.simnet.network import Network
+from repro.simnet.node import SimNode
+
+__all__ = ["UserAnonymizer", "ItemAnonymizer", "ProxyRuntime", "DEFAULT_TENANT"]
+
+ReplyFn = Callable[[Response], None]
+
+#: Tenant label used by single-application deployments.
+DEFAULT_TENANT = "default"
+
+
+def _tenant_of(request: Request) -> str:
+    """The (public) application identity a request belongs to."""
+    tenant = request.fields.get("tenant")
+    return tenant if isinstance(tenant, str) else DEFAULT_TENANT
+
+
+@dataclass
+class ProxyRuntime:
+    """Shared wiring every proxy instance needs."""
+
+    loop: EventLoop
+    network: Network
+    rng: random.Random
+    provider: CryptoProvider
+    config: PProxConfig
+    costs: ProxyCostModel
+
+
+def _layer_keys(enclave: Enclave, sk_slot: str, k_slot: str) -> LayerKeys:
+    """Reconstruct the layer's key material from sealed enclave slots."""
+    return LayerKeys(
+        private_key=enclave.secret(sk_slot),
+        symmetric_key=enclave.secret(k_slot),
+    )
+
+
+@dataclass
+class UserAnonymizer:
+    """One UA-layer proxy instance (first layer, client-facing)."""
+
+    name: str
+    runtime: ProxyRuntime
+    enclave: Enclave
+    ia_balancer: LoadBalancer
+    node: SimNode = None  # type: ignore[assignment]
+    routing: RoutingTable = field(default_factory=lambda: RoutingTable(name="T-ua"))
+    request_buffer: Optional[ShuffleBuffer] = None
+    requests_processed: int = 0
+    responses_processed: int = 0
+    #: Crash-stop failure flag: a dead instance silently drops traffic
+    #: (clients recover via timeout + retry).
+    alive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.node is None:
+            self.node = SimNode(name=self.name, loop=self.runtime.loop, cores=2)
+        if self.runtime.config.shuffling and self.request_buffer is None:
+            self.request_buffer = ShuffleBuffer(
+                loop=self.runtime.loop,
+                rng=self.runtime.rng,
+                size=self.runtime.config.shuffle_size,
+                timeout=self.runtime.config.shuffle_timeout,
+                release=self._start_processing,
+                name=f"{self.name}-requests",
+            )
+
+    @property
+    def address(self) -> str:
+        """Network address of this instance."""
+        return self.name
+
+    @property
+    def pending(self) -> int:
+        """Outstanding work (load-balancer signal)."""
+        buffered = self.request_buffer.pending if self.request_buffer else 0
+        return self.node.pending + len(self.routing) + buffered
+
+    # -- request path --------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash-stop this instance: all in-flight and future traffic
+        addressed to it is lost."""
+        self.alive = False
+
+    def receive_request(self, request: Request, reply: ReplyFn) -> None:
+        """Entry point for a client request delivered by the network."""
+        if not self.alive:
+            return
+        entry = (request, reply)
+        if self.request_buffer is not None:
+            self.request_buffer.add(entry)
+        else:
+            self._start_processing(entry)
+
+    def _start_processing(self, entry: tuple) -> None:
+        request, reply = entry
+        service_time = self.runtime.costs.ua_request_leg(
+            self.runtime.config, len(self.routing), self.enclave.performance_penalty
+        )
+        self.node.submit(service_time, lambda: self._forward(request, reply))
+
+    def _forward(self, request: Request, reply: ReplyFn) -> None:
+        keys = (
+            self._keys_for(_tenant_of(request)) if self.runtime.config.encryption else None
+        )
+        transformed, response_key = protocol.ua_transform_request(
+            self.runtime.provider, keys, self.runtime.config, request, self.address
+        )
+        self.routing.register(request.request_id, (reply, response_key))
+        self.requests_processed += 1
+        ia = self.ia_balancer.pick()
+        network = self.runtime.network
+
+        def reply_from_ia(response: Response) -> None:
+            network.send(
+                ia.address,
+                self.address,
+                response,
+                response.size_bytes(),
+                self._receive_response,
+            )
+
+        network.send(
+            self.address,
+            ia.address,
+            transformed,
+            transformed.size_bytes(),
+            lambda req: ia.receive_request(req, reply_from_ia),
+        )
+
+    # -- response path -------------------------------------------------
+
+    def _receive_response(self, response: Response) -> None:
+        if not self.alive:
+            return
+        service_time = self.runtime.costs.ua_response_leg(
+            self.runtime.config, len(self.routing), self.enclave.performance_penalty
+        )
+        self.node.submit(service_time, lambda: self._return_to_client(response))
+
+    def _return_to_client(self, response: Response) -> None:
+        reply, response_key = self.routing.consume(response.request_id)
+        wrapped = protocol.ua_wrap_response(
+            self.runtime.provider, self.runtime.config, response_key, response
+        )
+        self.responses_processed += 1
+        reply(wrapped)
+
+    def _keys_for(self, tenant: str) -> LayerKeys:
+        """Resolve key material; single-tenant deployments ignore
+        *tenant* (multi-tenant subclasses dispatch on it, §6.3)."""
+        from repro.sgx.provisioning import UA_SECRET_K, UA_SECRET_SK
+
+        return _layer_keys(self.enclave, UA_SECRET_SK, UA_SECRET_K)
+
+
+@dataclass
+class ItemAnonymizer:
+    """One IA-layer proxy instance (second layer, LRS-facing)."""
+
+    name: str
+    runtime: ProxyRuntime
+    enclave: Enclave
+    #: Callable returning the LRS backend for the next request.
+    lrs_picker: Callable[[], object]
+    node: SimNode = None  # type: ignore[assignment]
+    routing: RoutingTable = field(default_factory=lambda: RoutingTable(name="T-ia"))
+    response_buffer: Optional[ShuffleBuffer] = None
+    requests_processed: int = 0
+    responses_processed: int = 0
+    #: Crash-stop failure flag (see :class:`UserAnonymizer`).
+    alive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.node is None:
+            self.node = SimNode(name=self.name, loop=self.runtime.loop, cores=2)
+        if self.runtime.config.shuffling and self.response_buffer is None:
+            self.response_buffer = ShuffleBuffer(
+                loop=self.runtime.loop,
+                rng=self.runtime.rng,
+                size=self.runtime.config.shuffle_size,
+                timeout=self.runtime.config.shuffle_timeout,
+                release=self._start_response_processing,
+                name=f"{self.name}-responses",
+            )
+
+    @property
+    def address(self) -> str:
+        """Network address of this instance."""
+        return self.name
+
+    @property
+    def pending(self) -> int:
+        """Outstanding work (load-balancer signal)."""
+        buffered = self.response_buffer.pending if self.response_buffer else 0
+        return self.node.pending + len(self.routing) + buffered
+
+    # -- request path --------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash-stop this instance."""
+        self.alive = False
+
+    def receive_request(self, request: Request, reply: ReplyFn) -> None:
+        """Entry point for a UA-forwarded request."""
+        if not self.alive:
+            return
+        service_time = self.runtime.costs.ia_request_leg(
+            self.runtime.config, len(self.routing), self.enclave.performance_penalty
+        )
+        self.node.submit(service_time, lambda: self._forward(request, reply))
+
+    def _forward(self, request: Request, reply: ReplyFn) -> None:
+        keys = (
+            self._keys_for(_tenant_of(request)) if self.runtime.config.encryption else None
+        )
+        transformed, context = protocol.ia_transform_request(
+            self.runtime.provider, keys, self.runtime.config, request, self.address
+        )
+        self.routing.register(request.request_id, (reply, context))
+        self.requests_processed += 1
+        backend = self._pick_backend(request)
+        network = self.runtime.network
+
+        def reply_from_lrs(response: Response) -> None:
+            network.send(
+                backend.address,
+                self.address,
+                response,
+                response.size_bytes(),
+                self._receive_response,
+            )
+
+        network.send(
+            self.address,
+            backend.address,
+            transformed,
+            transformed.size_bytes(),
+            lambda req: backend.handle(req, reply_from_lrs),
+        )
+
+    # -- response path -------------------------------------------------
+
+    def _receive_response(self, response: Response) -> None:
+        if not self.alive:
+            return
+        if self.response_buffer is not None:
+            self.response_buffer.add(response)
+        else:
+            self._start_response_processing(response)
+
+    def _start_response_processing(self, response: Response) -> None:
+        item_count = len(response.fields.get("items", []))
+        service_time = self.runtime.costs.ia_response_leg(
+            self.runtime.config,
+            len(self.routing),
+            item_count,
+            self.enclave.performance_penalty,
+        )
+        self.node.submit(service_time, lambda: self._return_to_ua(response))
+
+    def _pick_backend(self, request: Request):
+        """Choose the LRS backend; multi-tenant subclasses route by
+        the request's tenant."""
+        return self.lrs_picker()
+
+    def _return_to_ua(self, response: Response) -> None:
+        reply, context = self.routing.consume(response.request_id)
+        keys = (
+            self._keys_for(context.tenant) if self.runtime.config.encryption else None
+        )
+        transformed = protocol.ia_transform_response(
+            self.runtime.provider, keys, self.runtime.config, context, response
+        )
+        self.responses_processed += 1
+        reply(transformed)
+
+    def _keys_for(self, tenant: str) -> LayerKeys:
+        """Resolve key material; single-tenant deployments ignore
+        *tenant* (multi-tenant subclasses dispatch on it, §6.3)."""
+        from repro.sgx.provisioning import IA_SECRET_K, IA_SECRET_SK
+
+        return _layer_keys(self.enclave, IA_SECRET_SK, IA_SECRET_K)

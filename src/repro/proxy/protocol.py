@@ -1,0 +1,357 @@
+"""The PProx wire protocol: field transformations of §4.2.
+
+Pure functions implementing the request/response lifecycles of
+Figures 3 and 4.  Each function takes the crypto provider, the key
+material visible at that stage, and a message, and returns the
+transformed message — the layer instances in
+:mod:`repro.proxy.layers` wire these into the simulated data plane.
+
+Field naming on the JSON wire (paper protocol):
+
+==========  =========================================================
+``user``    client->UA: ``enc(u, pkUA)``; UA->IA and IA->LRS:
+            ``det_enc(u, kUA)`` (base64)
+``item``    client->IA (through UA, opaque to it): ``enc(i, pkIA)``;
+            IA->LRS: ``det_enc(i, kIA)`` (or cleartext if item
+            pseudonymization is disabled)
+``tmpkey``  get only, client->IA: ``enc(k_u, pkIA)``
+``items``   LRS->IA: recommendation list (pseudonymous identifiers)
+``blob``    IA->client (through UA, opaque to it):
+            ``enc(padded item list, k_u)``
+==========  =========================================================
+
+**Hardened client hop** (``PProxConfig.harden_client_hop``, an
+extension beyond the paper): the client wraps its entire request in
+``sealed = enc({fields, resp_key}, pkUA)`` and the UA re-encrypts the
+response as ``sealed_resp = enc(fields, resp_key)``.  This closes the
+wire-level variant of §6.1 case 2 in which an adversary holding
+``skIA`` reads ``enc(i, pkIA)`` / ``enc(k_u, pkIA)`` directly off the
+client->UA wire, where the client's address is visible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.envelope import (
+    MAX_RECOMMENDATIONS,
+    b64,
+    decode_identifier,
+    encode_identifier,
+    pad_item_list,
+    strip_padding_items,
+    unb64,
+)
+from repro.crypto.keys import LayerKeys, LayerPublicMaterial
+from repro.crypto.provider import CryptoProvider
+from repro.proxy.config import PProxConfig
+from repro.rest.messages import Request, Response, Verb
+
+__all__ = [
+    "ClientMaterial",
+    "CallKeys",
+    "client_encode_post",
+    "client_encode_get",
+    "client_decode_response",
+    "ua_transform_request",
+    "ua_wrap_response",
+    "ia_transform_request",
+    "IaRequestContext",
+    "ia_transform_response",
+]
+
+
+@dataclass(frozen=True)
+class ClientMaterial:
+    """What the user-side library knows: both layers' public keys."""
+
+    ua: LayerPublicMaterial
+    ia: LayerPublicMaterial
+
+
+@dataclass(frozen=True)
+class CallKeys:
+    """Per-call keys the user-side library keeps until the response.
+
+    ``temporary_key`` is the paper's ``k_u`` (gets only);
+    ``response_key`` exists only in the hardened-hop extension.
+    """
+
+    temporary_key: Optional[bytes] = None
+    response_key: Optional[bytes] = None
+
+
+# ---------------------------------------------------------------- client
+
+
+def _seal_for_ua(
+    provider: CryptoProvider,
+    material: ClientMaterial,
+    fields: Dict[str, str],
+) -> Tuple[Dict[str, str], bytes]:
+    """Wrap *fields* in the hardened-hop envelope under ``pkUA``."""
+    response_key = provider.new_temporary_key()
+    payload = json.dumps({"fields": fields, "resp_key": b64(response_key)})
+    sealed = provider.asym_encrypt(material.ua, payload.encode("utf-8"))
+    return {"sealed": b64(sealed)}, response_key
+
+
+def client_encode_post(
+    provider: CryptoProvider,
+    material: ClientMaterial,
+    config: PProxConfig,
+    request: Request,
+) -> Tuple[Request, CallKeys]:
+    """User-side transformation of ``post(u, i[, p])`` (Figure 3)."""
+    if not config.encryption:
+        return request, CallKeys()
+    user = request.fields["user"]
+    item = request.fields["item"]
+    item_field = b64(provider.asym_encrypt(material.ia, encode_identifier(item)))
+    if config.harden_client_hop:
+        # Inside the sealed envelope the user id needs no separate
+        # asymmetric layer: the envelope itself is under pkUA.
+        inner = dict(request.fields)
+        inner["user"] = b64(encode_identifier(user))
+        inner["item"] = item_field
+        sealed_fields, response_key = _seal_for_ua(provider, material, inner)
+        return (
+            request.with_fields(user=None, item=None, payload=None, **sealed_fields),
+            CallKeys(response_key=response_key),
+        )
+    encoded = request.with_fields(
+        user=b64(provider.asym_encrypt(material.ua, encode_identifier(user))),
+        item=item_field,
+    )
+    return encoded, CallKeys()
+
+
+def client_encode_get(
+    provider: CryptoProvider,
+    material: ClientMaterial,
+    config: PProxConfig,
+    request: Request,
+) -> Tuple[Request, CallKeys]:
+    """User-side transformation of ``get(u)`` (Figure 4).
+
+    Generates the temporary key ``k_u`` the library must keep to
+    decrypt the returned recommendation list.
+    """
+    if not config.encryption:
+        return request, CallKeys()
+    user = request.fields["user"]
+    temporary_key = provider.new_temporary_key()
+    tmpkey_field = b64(provider.asym_encrypt(material.ia, temporary_key))
+    if config.harden_client_hop:
+        inner = dict(request.fields)
+        inner["user"] = b64(encode_identifier(user))
+        inner["tmpkey"] = tmpkey_field
+        sealed_fields, response_key = _seal_for_ua(provider, material, inner)
+        return (
+            request.with_fields(user=None, **sealed_fields),
+            CallKeys(temporary_key=temporary_key, response_key=response_key),
+        )
+    encoded = request.with_fields(
+        user=b64(provider.asym_encrypt(material.ua, encode_identifier(user))),
+        tmpkey=tmpkey_field,
+    )
+    return encoded, CallKeys(temporary_key=temporary_key)
+
+
+def client_decode_response(
+    provider: CryptoProvider,
+    config: PProxConfig,
+    response: Response,
+    keys: CallKeys,
+) -> List[str]:
+    """Recover the cleartext recommendation list at the user side."""
+    if not response.ok:
+        raise ValueError(f"LRS returned status {response.status}")
+    if not config.encryption:
+        return list(response.fields.get("items", []))
+    fields = response.fields
+    if config.harden_client_hop:
+        if keys.response_key is None:
+            raise ValueError("missing response key for a hardened response")
+        sealed = unb64(fields["sealed_resp"])
+        fields = json.loads(provider.sym_decrypt(keys.response_key, sealed).decode("utf-8"))
+    if "blob" not in fields:
+        return []
+    if keys.temporary_key is None:
+        raise ValueError("missing temporary key for an encrypted get response")
+    blob = unb64(fields["blob"])
+    wire_items = json.loads(provider.sym_decrypt(keys.temporary_key, blob).decode("utf-8"))
+    items = [decode_identifier(unb64(entry)) for entry in wire_items]
+    return strip_padding_items(items)
+
+
+# ---------------------------------------------------------------- UA layer
+
+
+def ua_transform_request(
+    provider: CryptoProvider,
+    keys: Optional[LayerKeys],
+    config: PProxConfig,
+    request: Request,
+    layer_address: str,
+) -> Tuple[Request, Optional[bytes]]:
+    """UA leg: replace the user identity with ``det_enc(u, kUA)``.
+
+    Returns the forwarded request plus (in the hardened mode) the
+    client's response key, which the UA must keep to re-encrypt the
+    response.  Also rewrites the request's source to the UA instance
+    itself — the IA layer must never learn client addresses (§3).
+    """
+    response_key: Optional[bytes] = None
+    if not config.encryption:
+        transformed = request
+    elif config.harden_client_hop:
+        payload = json.loads(
+            provider.asym_decrypt(keys, unb64(request.fields["sealed"])).decode("utf-8")
+        )
+        inner = payload["fields"]
+        response_key = unb64(payload["resp_key"])
+        user_plain = unb64(inner["user"])
+        inner["user"] = b64(provider.pseudonymize(keys.symmetric_key, user_plain))
+        transformed = Request(
+            verb=request.verb,
+            fields=inner,
+            request_id=request.request_id,
+            client_address=request.client_address,
+        )
+    else:
+        user_plain = provider.asym_decrypt(keys, unb64(request.fields["user"]))
+        pseudonym = provider.pseudonymize(keys.symmetric_key, user_plain)
+        transformed = request.with_fields(user=b64(pseudonym))
+    # Hide the origin: downstream only sees the proxy as the source.
+    forwarded = Request(
+        verb=transformed.verb,
+        fields=transformed.fields,
+        request_id=transformed.request_id,
+        client_address=layer_address,
+    )
+    return forwarded, response_key
+
+
+def ua_wrap_response(
+    provider: CryptoProvider,
+    config: PProxConfig,
+    response_key: Optional[bytes],
+    response: Response,
+) -> Response:
+    """Hardened mode: re-encrypt the response fields for the client."""
+    if not config.harden_client_hop or response_key is None:
+        return response
+    sealed = provider.sym_encrypt(
+        response_key, json.dumps(response.fields, sort_keys=True).encode("utf-8")
+    )
+    return Response(
+        status=response.status,
+        fields={"sealed_resp": b64(sealed)},
+        request_id=response.request_id,
+    )
+
+
+# ---------------------------------------------------------------- IA layer
+
+
+def _tenant_field(request: Request) -> str:
+    """The request's (public) application identity."""
+    tenant = request.fields.get("tenant")
+    return tenant if isinstance(tenant, str) else "default"
+
+
+@dataclass(frozen=True)
+class IaRequestContext:
+    """Per-request state the IA layer keeps for the response path."""
+
+    verb: str
+    temporary_key: Optional[bytes]
+    #: Application identity (multi-tenant deployments, §6.3).
+    tenant: str = "default"
+
+
+def ia_transform_request(
+    provider: CryptoProvider,
+    keys: Optional[LayerKeys],
+    config: PProxConfig,
+    request: Request,
+    layer_address: str,
+) -> Tuple[Request, IaRequestContext]:
+    """IA leg: decrypt item / temporary key; pseudonymize items.
+
+    The outgoing request carries only pseudonymous identifiers; the
+    temporary key (for gets) stays inside the enclave, recorded in the
+    returned context.
+    """
+    if not config.encryption:
+        forwarded = Request(
+            verb=request.verb,
+            fields=request.fields,
+            request_id=request.request_id,
+            client_address=layer_address,
+        )
+        return forwarded, IaRequestContext(
+            verb=request.verb, temporary_key=None, tenant=_tenant_field(request)
+        )
+
+    if request.verb == Verb.POST:
+        item_plain = provider.asym_decrypt(keys, unb64(request.fields["item"]))
+        if config.item_pseudonymization:
+            item_field = b64(provider.pseudonymize(keys.symmetric_key, item_plain))
+        else:
+            # §6.3: algorithms needing cleartext items can disable
+            # pseudonymization at a privacy cost.
+            item_field = decode_identifier(item_plain)
+        transformed = request.with_fields(item=item_field)
+        context = IaRequestContext(
+            verb=Verb.POST, temporary_key=None, tenant=_tenant_field(request)
+        )
+    else:
+        temporary_key = provider.asym_decrypt(keys, unb64(request.fields["tmpkey"]))
+        transformed = request.with_fields(tmpkey=None)
+        context = IaRequestContext(
+            verb=Verb.GET, temporary_key=temporary_key, tenant=_tenant_field(request)
+        )
+
+    forwarded = Request(
+        verb=transformed.verb,
+        fields=transformed.fields,
+        request_id=transformed.request_id,
+        client_address=layer_address,
+    )
+    return forwarded, context
+
+
+def ia_transform_response(
+    provider: CryptoProvider,
+    keys: Optional[LayerKeys],
+    config: PProxConfig,
+    context: IaRequestContext,
+    response: Response,
+) -> Response:
+    """IA response leg: de-pseudonymize, pad, re-encrypt under ``k_u``."""
+    if not config.encryption or context.verb == Verb.POST or not response.ok:
+        return response
+    raw_items = response.fields.get("items", [])
+    if config.item_pseudonymization:
+        cleartext = [
+            decode_identifier(provider.depseudonymize(keys.symmetric_key, unb64(item)))
+            for item in raw_items
+        ]
+    else:
+        cleartext = list(raw_items)
+    padded = pad_item_list(cleartext[:MAX_RECOMMENDATIONS])
+    # Fixed-size encode every entry so the blob length never depends
+    # on identifier lengths (§4.3's constant-size requirement).
+    wire_items = [b64(encode_identifier(item)) for item in padded]
+    blob = provider.sym_encrypt(
+        context.temporary_key, json.dumps(wire_items).encode("utf-8")
+    )
+    return Response(
+        status=response.status,
+        fields={"blob": b64(blob)},
+        request_id=response.request_id,
+    )

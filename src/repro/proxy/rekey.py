@@ -1,0 +1,85 @@
+"""Offline re-encryption of LRS state after a breach (footnote 1).
+
+When an enclave is compromised and its layer's keys rotate, the LRS
+database still holds pseudonyms minted under the retired keys.  The
+paper lists three responses:
+
+1. drop the database and restart with new secrets
+   (:meth:`repro.proxy.service.PProxService.breach_response`);
+2. download the LRS state, re-encrypt it locally, re-upload it, and
+   provision fresh enclaves — implemented here;
+3. an LRS-specific proxy re-encryption scheme (out of scope).
+
+Option 2 preserves the accumulated interaction history (and hence
+model quality) at the cost of an offline pass over the database.  The
+re-encryption is performed by the RaaS *client application*, which is
+the party that generated both the old and the new keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import LayerKeys
+from repro.crypto.provider import CryptoProvider
+from repro.lrs.store import EventStore
+
+__all__ = ["RekeyReport", "reencrypt_store"]
+
+
+@dataclass(frozen=True)
+class RekeyReport:
+    """Summary of one offline re-encryption pass."""
+
+    events_processed: int
+    users_rekeyed: int
+    items_rekeyed: int
+    layer: str
+
+
+def reencrypt_store(
+    store: EventStore,
+    provider: CryptoProvider,
+    old_keys: LayerKeys,
+    new_keys: LayerKeys,
+    layer: str,
+) -> RekeyReport:
+    """Re-pseudonymize one layer's identifiers in *store*, in place.
+
+    *layer* selects which column rotates: ``"UA"`` re-keys user
+    pseudonyms (kUA), ``"IA"`` re-keys item pseudonyms (kIA).  The
+    other column is untouched — its keys did not leak.
+    """
+    if layer not in ("UA", "IA"):
+        raise ValueError(f"unknown layer {layer!r}")
+    from repro.crypto.envelope import b64, unb64
+
+    translated: dict = {}
+
+    def translate(value: str) -> str:
+        cached = translated.get(value)
+        if cached is None:
+            plain = provider.depseudonymize(old_keys.symmetric_key, unb64(value))
+            cached = b64(provider.pseudonymize(new_keys.symmetric_key, plain))
+            translated[value] = cached
+        return cached
+
+    events = store.dump()
+    store.clear()
+    users_rekeyed = 0
+    items_rekeyed = 0
+    for event in events:
+        user, item = event.user, event.item
+        if layer == "UA":
+            user = translate(user)
+            users_rekeyed += 1
+        else:
+            item = translate(item)
+            items_rekeyed += 1
+        store.insert(user, item, event.payload)
+    return RekeyReport(
+        events_processed=len(events),
+        users_rekeyed=users_rekeyed,
+        items_rekeyed=items_rekeyed,
+        layer=layer,
+    )

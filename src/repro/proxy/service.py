@@ -1,0 +1,219 @@
+"""Assembly of the complete PProx proxy service.
+
+Builds the two proxy layers (key generation, enclave creation,
+attestation, provisioning), wires them to each other and to the LRS
+through load balancers, and exposes the operations a deployment
+needs: entry-point selection for clients, horizontal scaling, and
+breach response (key rotation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.crypto.keys import KeyFactory, LayerKeys
+from repro.crypto.provider import CryptoProvider, SimCryptoProvider
+from repro.proxy.config import PProxConfig
+from repro.proxy.costs import DEFAULT_COSTS, ProxyCostModel
+from repro.proxy.layers import ItemAnonymizer, ProxyRuntime, UserAnonymizer
+from repro.proxy.protocol import ClientMaterial
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import Enclave, EnclaveMeasurement
+from repro.sgx.provisioning import KeyProvisioner
+from repro.simnet.clock import EventLoop
+from repro.simnet.loadbalancer import LoadBalancer, make_policy
+from repro.simnet.network import Network
+from repro.simnet.rng import RngRegistry
+
+__all__ = ["PProxService", "build_pprox", "UA_CODE_IDENTITY", "IA_CODE_IDENTITY"]
+
+#: Code identities measured into the enclaves of each layer.
+UA_CODE_IDENTITY = "pprox-user-anonymizer-v1.0"
+IA_CODE_IDENTITY = "pprox-item-anonymizer-v1.0"
+
+# RSA key generation in pure Python is slow (~1 s per keypair); cache
+# deterministic keypairs across experiment configurations of a run.
+_KEYPAIR_CACHE: Dict[Tuple[int, int, str], LayerKeys] = {}
+
+
+def _cached_layer_keys(factory: KeyFactory, seed: int, bits: int, layer: str) -> LayerKeys:
+    cache_key = (seed, bits, layer)
+    keys = _KEYPAIR_CACHE.get(cache_key)
+    if keys is None:
+        keys = factory.layer_keys()
+        _KEYPAIR_CACHE[cache_key] = keys
+    return keys
+
+
+@dataclass
+class PProxService:
+    """A deployed two-layer proxy service."""
+
+    runtime: ProxyRuntime
+    provisioner: KeyProvisioner
+    attestation: AttestationService
+    ua_instances: List[UserAnonymizer] = field(default_factory=list)
+    ia_instances: List[ItemAnonymizer] = field(default_factory=list)
+    ua_balancer: LoadBalancer = None  # type: ignore[assignment]
+    ia_balancer: LoadBalancer = None  # type: ignore[assignment]
+    lrs_picker: Callable[[], object] = None  # type: ignore[assignment]
+
+    @property
+    def config(self) -> PProxConfig:
+        """The active configuration."""
+        return self.runtime.config
+
+    @property
+    def client_material(self) -> ClientMaterial:
+        """Public keys the user-side library embeds (§4.1)."""
+        return ClientMaterial(
+            ua=self.provisioner.layer_keys["UA"].public_material,
+            ia=self.provisioner.layer_keys["IA"].public_material,
+        )
+
+    def entry(self) -> UserAnonymizer:
+        """Pick the UA instance serving the next client request."""
+        return self.ua_balancer.pick()
+
+    def all_enclaves(self) -> List[Enclave]:
+        """Every enclave of both layers (for the breach detector)."""
+        return [inst.enclave for inst in self.ua_instances] + [
+            inst.enclave for inst in self.ia_instances
+        ]
+
+    # -- horizontal scaling (§5) ---------------------------------------
+
+    def scale_ua(self) -> UserAnonymizer:
+        """Add one UA instance: new enclave, attest, provision, join LB."""
+        index = len(self.ua_instances)
+        enclave = Enclave(
+            name=f"ua-enclave-{index}",
+            measurement=EnclaveMeasurement.of_code(UA_CODE_IDENTITY),
+            host_node=f"node-ua-{index}",
+        )
+        self.provisioner.provision("UA", enclave)
+        instance = UserAnonymizer(
+            name=f"pprox-ua-{index}",
+            runtime=self.runtime,
+            enclave=enclave,
+            ia_balancer=self.ia_balancer,
+        )
+        self.ua_instances.append(instance)
+        self.ua_balancer.add(instance)
+        return instance
+
+    def scale_ia(self) -> ItemAnonymizer:
+        """Add one IA instance: new enclave, attest, provision, join LB."""
+        index = len(self.ia_instances)
+        enclave = Enclave(
+            name=f"ia-enclave-{index}",
+            measurement=EnclaveMeasurement.of_code(IA_CODE_IDENTITY),
+            host_node=f"node-ia-{index}",
+        )
+        self.provisioner.provision("IA", enclave)
+        instance = ItemAnonymizer(
+            name=f"pprox-ia-{index}",
+            runtime=self.runtime,
+            enclave=enclave,
+            lrs_picker=self.lrs_picker,
+        )
+        self.ia_instances.append(instance)
+        self.ia_balancer.add(instance)
+        return instance
+
+    # -- breach response (footnote 1) ----------------------------------
+
+    def rotate_layer(self, layer: str, factory: KeyFactory) -> LayerKeys:
+        """Generate fresh keys for *layer* and re-provision its enclaves.
+
+        Returns the new key material (the user-side library must be
+        updated with the new public half).
+        """
+        new_keys = factory.layer_keys()
+        enclaves = [
+            inst.enclave
+            for inst in (self.ua_instances if layer == "UA" else self.ia_instances)
+        ]
+        self.provisioner.rotate_layer(layer, new_keys, enclaves)
+        return new_keys
+
+    def breach_response(self, layer: str, factory: KeyFactory, lrs_store=None) -> LayerKeys:
+        """Full breach response (footnote 1, option 1).
+
+        Rotates *layer*'s keys AND drops the LRS database content: the
+        stored pseudonyms were produced under the retired keys and can
+        no longer be resolved by the fresh enclaves (the paper's other
+        options — offline re-encryption or proxy re-encryption — trade
+        data retention for more machinery).
+        """
+        new_keys = self.rotate_layer(layer, factory)
+        if lrs_store is not None:
+            lrs_store.clear()
+        return new_keys
+
+
+def build_pprox(
+    loop: EventLoop,
+    network: Network,
+    rng: RngRegistry,
+    config: PProxConfig,
+    lrs_picker: Callable[[], object],
+    provider: Optional[CryptoProvider] = None,
+    costs: ProxyCostModel = DEFAULT_COSTS,
+    rsa_bits: int = 1024,
+) -> PProxService:
+    """Deploy a PProx service according to *config*.
+
+    Performs the full bootstrap: layer key generation by the client
+    application, enclave creation on dedicated nodes, attestation and
+    provisioning, and load-balancer wiring.  *lrs_picker* returns the
+    LRS backend (stub or Harness frontend) for each outgoing request.
+    """
+    if provider is None:
+        provider = SimCryptoProvider(rng_bytes=rng.bytes_fn("provider"))
+
+    factory = KeyFactory(
+        rsa_bits=rsa_bits,
+        rng_int=rng.int_fn("keygen"),
+        rng_bytes=rng.bytes_fn("keygen-bytes"),
+    )
+    ua_keys = _cached_layer_keys(factory, rng.seed, rsa_bits, "UA")
+    ia_keys = _cached_layer_keys(factory, rng.seed, rsa_bits, "IA")
+
+    attestation = AttestationService(rng_bytes=rng.bytes_fn("attestation"))
+    provisioner = KeyProvisioner(
+        attestation=attestation,
+        expected_measurements={
+            "UA": EnclaveMeasurement.of_code(UA_CODE_IDENTITY),
+            "IA": EnclaveMeasurement.of_code(IA_CODE_IDENTITY),
+        },
+        layer_keys={"UA": ua_keys, "IA": ia_keys},
+        rng_bytes=rng.bytes_fn("provisioning"),
+    )
+
+    runtime = ProxyRuntime(
+        loop=loop,
+        network=network,
+        rng=rng.stream("proxy"),
+        provider=provider,
+        config=config,
+        costs=costs,
+    )
+    service = PProxService(
+        runtime=runtime,
+        provisioner=provisioner,
+        attestation=attestation,
+        ua_balancer=LoadBalancer(
+            name="client->ua", policy=make_policy(config.balancing, rng.stream("lb-ua"))
+        ),
+        ia_balancer=LoadBalancer(
+            name="ua->ia", policy=make_policy(config.balancing, rng.stream("lb-ia"))
+        ),
+        lrs_picker=lrs_picker,
+    )
+    for _ in range(config.ia_instances):
+        service.scale_ia()
+    for _ in range(config.ua_instances):
+        service.scale_ua()
+    return service

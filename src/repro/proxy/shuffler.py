@@ -1,0 +1,75 @@
+"""Request/response shuffling buffer (paper §4.3, Figure 5).
+
+"Incoming requests are buffered until S requests are received, or
+until a timer expires, and then sent in random order to the next
+stage."  The UA layer shuffles requests on the way to the IA layer;
+the IA layer shuffles responses on the way back.  Each proxy instance
+owns its own buffers, which is why over-provisioned deployments see
+shuffle latency grow (§8.1.2): per-instance traffic drops and buffers
+fill more slowly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.simnet.clock import EventHandle, EventLoop
+
+__all__ = ["ShuffleBuffer"]
+
+
+@dataclass
+class ShuffleBuffer:
+    """Buffers entries and releases them in randomized batches."""
+
+    loop: EventLoop
+    rng: random.Random
+    size: int
+    timeout: float
+    release: Callable[[Any], None]
+    name: str = "shuffle"
+    _pending: List[Any] = field(default_factory=list)
+    _timer: Optional[EventHandle] = None
+    flushes: int = 0
+    timer_flushes: int = 0
+    entries_buffered: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("shuffle size must be >= 1; use size 1 for pass-through")
+        if self.timeout <= 0:
+            raise ValueError("shuffle timeout must be positive")
+
+    def add(self, entry: Any) -> None:
+        """Buffer *entry*; flush if the batch is full."""
+        self._pending.append(entry)
+        self.entries_buffered += 1
+        if len(self._pending) >= self.size:
+            self._flush(timer_fired=False)
+            return
+        if self._timer is None:
+            self._timer = self.loop.schedule(self.timeout, self._on_timer)
+
+    @property
+    def pending(self) -> int:
+        """Entries currently buffered."""
+        return len(self._pending)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        if self._pending:
+            self._flush(timer_fired=True)
+
+    def _flush(self, timer_fired: bool) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        self.rng.shuffle(batch)
+        self.flushes += 1
+        if timer_fired:
+            self.timer_flushes += 1
+        for entry in batch:
+            self.release(entry)

@@ -1,0 +1,15 @@
+"""REST message model and routing primitives shared by client, proxy and LRS."""
+
+from repro.rest.messages import Request, Response, Verb, make_get, make_post, next_request_id
+from repro.rest.routing import RoutingError, RoutingTable
+
+__all__ = [
+    "Request",
+    "Response",
+    "Verb",
+    "make_get",
+    "make_post",
+    "next_request_id",
+    "RoutingTable",
+    "RoutingError",
+]

@@ -1,0 +1,46 @@
+"""SGX trusted-execution substrate (simulated).
+
+Models the behaviours PProx relies on: sealed enclave memory,
+measurement + remote attestation before key provisioning, enclave
+transition costs, and the adversary's side-channel capability with
+its Varys-style detection countermeasure.
+"""
+
+from repro.sgx.attestation import AttestationError, AttestationService, Quote
+from repro.sgx.costs import DEFAULT_SGX, NO_SGX, SgxCostModel
+from repro.sgx.enclave import Enclave, EnclaveError, EnclaveMeasurement, SealedStore
+from repro.sgx.provisioning import (
+    IA_SECRET_K,
+    IA_SECRET_SK,
+    KeyProvisioner,
+    UA_SECRET_K,
+    UA_SECRET_SK,
+)
+from repro.sgx.sidechannel import (
+    AttackModelError,
+    BreachDetector,
+    SideChannelAttack,
+    SingleEnclaveInvariant,
+)
+
+__all__ = [
+    "AttestationService",
+    "AttestationError",
+    "Quote",
+    "SgxCostModel",
+    "NO_SGX",
+    "DEFAULT_SGX",
+    "Enclave",
+    "EnclaveError",
+    "EnclaveMeasurement",
+    "SealedStore",
+    "KeyProvisioner",
+    "UA_SECRET_SK",
+    "UA_SECRET_K",
+    "IA_SECRET_SK",
+    "IA_SECRET_K",
+    "SideChannelAttack",
+    "BreachDetector",
+    "SingleEnclaveInvariant",
+    "AttackModelError",
+]

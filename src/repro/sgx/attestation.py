@@ -1,0 +1,80 @@
+"""Remote attestation, modelled after the Intel SGX flow.
+
+The trust assumptions of the paper (§2.2): "we trust Intel for the
+certification of genuine SGX-enabled CPUs, and we assume that the code
+running inside enclaves is properly attested before being provided
+with secrets".  We model the attestation service (the analogue of
+Intel IAS/DCAP) as a MAC oracle over (measurement, nonce) pairs whose
+key the untrusted RaaS provider does not hold.
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sgx.enclave import Enclave, EnclaveMeasurement
+
+__all__ = ["AttestationService", "Quote", "AttestationError"]
+
+
+class AttestationError(RuntimeError):
+    """Raised when a quote fails verification."""
+
+
+@dataclass(frozen=True)
+class Quote:
+    """An attestation quote: enclave measurement signed with a nonce."""
+
+    enclave_name: str
+    measurement: EnclaveMeasurement
+    nonce: bytes
+    signature: bytes
+
+
+@dataclass
+class AttestationService:
+    """Issues and verifies quotes for genuine enclaves.
+
+    A forged enclave (wrong measurement) yields a quote that fails
+    verification against the expected measurement, so the client
+    application never provisions secrets to it — the property the
+    protocol's key-provisioning step depends on.
+    """
+
+    rng_bytes: Callable[[int], bytes] = field(default=os.urandom)
+    _service_key: bytes = field(default_factory=lambda: os.urandom(32))
+    quotes_issued: int = 0
+
+    def quote(self, enclave: Enclave, nonce: bytes) -> Quote:
+        """Produce a quote binding the enclave's measurement to *nonce*."""
+        self.quotes_issued += 1
+        signature = self._sign(enclave.measurement, nonce)
+        return Quote(
+            enclave_name=enclave.name,
+            measurement=enclave.measurement,
+            nonce=nonce,
+            signature=signature,
+        )
+
+    def verify(self, quote: Quote, expected: EnclaveMeasurement, nonce: bytes) -> None:
+        """Verify *quote* against the expected measurement and nonce.
+
+        Raises :class:`AttestationError` on any mismatch.
+        """
+        if quote.nonce != nonce:
+            raise AttestationError("attestation nonce mismatch (replayed quote?)")
+        if quote.measurement != expected:
+            raise AttestationError(
+                f"measurement mismatch: enclave runs {quote.measurement.digest[:12]}…,"
+                f" expected {expected.digest[:12]}…"
+            )
+        if not hmac.compare_digest(quote.signature, self._sign(quote.measurement, quote.nonce)):
+            raise AttestationError("quote signature invalid (not a genuine enclave)")
+
+    def _sign(self, measurement: EnclaveMeasurement, nonce: bytes) -> bytes:
+        return hmac.new(
+            self._service_key, measurement.digest.encode() + nonce, "sha256"
+        ).digest()

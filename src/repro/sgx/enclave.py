@@ -1,0 +1,140 @@
+"""Simulated SGX enclaves.
+
+What the PProx protocol actually relies on from SGX (paper §2.2, §5):
+
+* an isolated execution environment whose *sealed memory* (keys, IVs,
+  routing context) is invisible to the untrusted host — unless the
+  adversary mounts a side-channel attack;
+* *measurement* of the loaded code, so the RaaS client application can
+  attest an enclave before provisioning it with layer secrets;
+* an entry/exit cost (ecalls) and a limited Enclave Page Cache whose
+  overflow is expensive — the systems constraints that shaped the
+  server/data-processing split of §5.
+
+This module models exactly those behaviours.  The side-channel attack
+and detection machinery lives in :mod:`repro.sgx.sidechannel`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["Enclave", "EnclaveMeasurement", "EnclaveError", "SealedStore"]
+
+
+class EnclaveError(RuntimeError):
+    """Raised on illegal enclave interactions (e.g. unprovisioned use)."""
+
+
+@dataclass(frozen=True)
+class EnclaveMeasurement:
+    """MRENCLAVE-like digest of the code loaded into an enclave."""
+
+    digest: str
+
+    @classmethod
+    def of_code(cls, code_identity: str) -> "EnclaveMeasurement":
+        """Measure a code identity string (stands in for the binary)."""
+        return cls(digest=hashlib.sha256(code_identity.encode()).hexdigest())
+
+
+@dataclass
+class SealedStore:
+    """Enclave-private key/value memory (the EPC-resident state).
+
+    Grants no access to the host: the only readers are the enclave's
+    own ecalls and — after a successful side-channel attack — the
+    adversary via :meth:`Enclave.leak_secrets`.
+    """
+
+    _data: Dict[str, Any] = field(default_factory=dict)
+
+    def put(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def get(self, key: str) -> Any:
+        if key not in self._data:
+            raise EnclaveError(f"sealed store has no entry {key!r}")
+        return self._data[key]
+
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Full copy of the sealed contents (used only by the leak path)."""
+        return dict(self._data)
+
+    def wipe(self) -> None:
+        """Erase all sealed state (breach response)."""
+        self._data.clear()
+
+
+@dataclass
+class Enclave:
+    """One SGX enclave instance on a host node.
+
+    Lifecycle: create -> attest (via
+    :class:`repro.sgx.attestation.AttestationService`) -> provision
+    secrets -> serve ecalls.  A side-channel attack can mark the
+    enclave ``compromised``, at which point its sealed secrets are
+    readable by the adversary but the enclave keeps functioning (the
+    PProx adversary "does not interfere with the functionality of the
+    system", §2.3).
+    """
+
+    name: str
+    measurement: EnclaveMeasurement
+    host_node: str
+    sealed: SealedStore = field(default_factory=SealedStore)
+    provisioned: bool = False
+    compromised: bool = False
+    attested: bool = False
+    ecall_count: int = 0
+    #: Multiplier applied to enclave service times while an attack runs
+    #: (reported attacks make "enclave performance drop significantly").
+    performance_penalty: float = 1.0
+
+    def provision(self, secrets: Dict[str, Any]) -> None:
+        """Install *secrets* into sealed memory.
+
+        Requires prior attestation: "the enclaves implementing the two
+        layers are attested upon their bootstrap before being
+        provisioned with these keys" (§4.1).
+        """
+        if not self.attested:
+            raise EnclaveError(
+                f"enclave {self.name!r} must be attested before provisioning"
+            )
+        for key, value in secrets.items():
+            self.sealed.put(key, value)
+        self.provisioned = True
+
+    def secret(self, key: str) -> Any:
+        """Read a sealed secret from inside the enclave (ecall path)."""
+        if not self.provisioned:
+            raise EnclaveError(f"enclave {self.name!r} is not provisioned")
+        self.ecall_count += 1
+        return self.sealed.get(key)
+
+    def leak_secrets(self) -> Dict[str, Any]:
+        """Adversary-side read of sealed memory; only after compromise."""
+        if not self.compromised:
+            raise EnclaveError(
+                f"enclave {self.name!r} is not compromised; secrets are sealed"
+            )
+        return self.sealed.snapshot()
+
+    def mark_compromised(self) -> None:
+        """Record a completed side-channel attack against this enclave."""
+        self.compromised = True
+
+    def rotate(self, secrets: Dict[str, Any]) -> None:
+        """Breach response: wipe and re-provision with fresh secrets."""
+        self.sealed.wipe()
+        self.compromised = False
+        self.performance_penalty = 1.0
+        for key, value in secrets.items():
+            self.sealed.put(key, value)
+        self.provisioned = True

@@ -1,0 +1,74 @@
+"""Secret provisioning by the RaaS client application.
+
+The application owning the catalog (not the RaaS provider!) generates
+the layer keys and provisions each enclave after attesting it (§4.1).
+New enclaves created by horizontal scaling go through the same flow:
+"new enclaves are attested upon their bootstrap before being
+provisioned with the corresponding keys" (§5).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from repro.crypto.keys import LayerKeys
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import Enclave, EnclaveMeasurement
+
+__all__ = ["KeyProvisioner", "UA_SECRET_SK", "UA_SECRET_K", "IA_SECRET_SK", "IA_SECRET_K"]
+
+# Sealed-store slot names for the four layer secrets of Table 1.
+UA_SECRET_SK = "skUA"
+UA_SECRET_K = "kUA"
+IA_SECRET_SK = "skIA"
+IA_SECRET_K = "kIA"
+
+
+@dataclass
+class KeyProvisioner:
+    """The application-side provisioning agent.
+
+    Holds the expected enclave measurements for each proxy layer and
+    the generated :class:`LayerKeys`; provisions a given enclave only
+    after a fresh-nonce attestation round-trip succeeds.
+    """
+
+    attestation: AttestationService
+    expected_measurements: Dict[str, EnclaveMeasurement]
+    layer_keys: Dict[str, LayerKeys]
+    rng_bytes: Callable[[int], bytes] = field(default=os.urandom)
+    provisioned_count: int = 0
+
+    def provision(self, layer: str, enclave: Enclave) -> None:
+        """Attest *enclave* and install the secrets of *layer* into it.
+
+        *layer* is ``"UA"`` or ``"IA"``.  Raises
+        :class:`repro.sgx.attestation.AttestationError` if the enclave
+        does not measure as expected — a forged enclave gets nothing.
+        """
+        expected = self.expected_measurements[layer]
+        nonce = self.rng_bytes(16)
+        quote = self.attestation.quote(enclave, nonce)
+        self.attestation.verify(quote, expected, nonce)
+        enclave.attested = True
+        keys = self.layer_keys[layer]
+        if layer == "UA":
+            secrets = {UA_SECRET_SK: keys.private_key, UA_SECRET_K: keys.symmetric_key}
+        elif layer == "IA":
+            secrets = {IA_SECRET_SK: keys.private_key, IA_SECRET_K: keys.symmetric_key}
+        else:
+            raise ValueError(f"unknown layer {layer!r}; expected 'UA' or 'IA'")
+        enclave.provision(secrets)
+        self.provisioned_count += 1
+
+    def rotate_layer(self, layer: str, new_keys: LayerKeys, enclaves: list) -> None:
+        """Breach response: install fresh keys into every layer enclave."""
+        self.layer_keys[layer] = new_keys
+        for enclave in enclaves:
+            if layer == "UA":
+                secrets = {UA_SECRET_SK: new_keys.private_key, UA_SECRET_K: new_keys.symmetric_key}
+            else:
+                secrets = {IA_SECRET_SK: new_keys.private_key, IA_SECRET_K: new_keys.symmetric_key}
+            enclave.rotate(secrets)

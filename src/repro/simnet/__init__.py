@@ -1,0 +1,46 @@
+"""Discrete-event simulation substrate.
+
+Provides the deterministic event loop, node/queue/network models, load
+balancers, seeded RNG streams and latency metrics that the proxy, LRS
+and workload layers are built on.
+"""
+
+from repro.simnet.clock import EventHandle, EventLoop, SimulationError
+from repro.simnet.loadbalancer import (
+    LeastPendingPolicy,
+    LoadBalancer,
+    RandomPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.simnet.metrics import CandlestickSummary, LatencyRecorder, percentile, trim_window
+from repro.simnet.network import FlowRecord, LatencyModel, Network
+from repro.simnet.node import NodeStats, SimNode
+from repro.simnet.queueing import ConcurrentQueue
+from repro.simnet.rng import RngRegistry
+from repro.simnet.tracing import BreakdownProbe, RequestTimeline, STAGES
+
+__all__ = [
+    "EventLoop",
+    "EventHandle",
+    "SimulationError",
+    "LoadBalancer",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "LeastPendingPolicy",
+    "make_policy",
+    "CandlestickSummary",
+    "LatencyRecorder",
+    "percentile",
+    "trim_window",
+    "Network",
+    "FlowRecord",
+    "LatencyModel",
+    "SimNode",
+    "NodeStats",
+    "ConcurrentQueue",
+    "RngRegistry",
+    "BreakdownProbe",
+    "RequestTimeline",
+    "STAGES",
+]

@@ -1,0 +1,114 @@
+"""Deterministic discrete-event loop with a virtual clock.
+
+All performance experiments in the reproduction run on this engine:
+time is virtual (seconds as floats), events fire in timestamp order
+with FIFO tie-breaking, and nothing depends on wall-clock time, so a
+given seed always reproduces the same latency distributions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventLoop", "EventHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on inconsistent use of the event loop."""
+
+
+@dataclass
+class EventHandle:
+    """Handle returned by :meth:`EventLoop.schedule`; allows cancelling."""
+
+    time: float
+    sequence: int
+    callback: Optional[Callable[[], None]]
+
+    def cancel(self) -> None:
+        """Cancel the event; a cancelled event is skipped by the loop."""
+        self.callback = None
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self.callback is None
+
+
+@dataclass
+class EventLoop:
+    """A minimal, deterministic discrete-event scheduler."""
+
+    _now: float = 0.0
+    _queue: List[Tuple[float, int, EventHandle]] = field(default_factory=list)
+    _sequence: "itertools.count" = field(default_factory=itertools.count)
+    _events_processed: int = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run *callback* after *delay* seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Run *callback* at absolute virtual *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}, current time is {self._now:.6f}"
+            )
+        handle = EventHandle(time=time, sequence=next(self._sequence), callback=callback)
+        heapq.heappush(self._queue, (time, handle.sequence, handle))
+        return handle
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when none remain."""
+        while self._queue:
+            time, _, handle = heapq.heappop(self._queue)
+            if handle.callback is None:
+                continue
+            self._now = time
+            callback, handle.callback = handle.callback, None
+            callback()
+            self._events_processed += 1
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Run events with timestamps <= *time*, then advance to *time*."""
+        while self._queue:
+            next_time = self._queue[0][0]
+            if next_time > time:
+                break
+            if not self.step():
+                break
+        if time > self._now:
+            self._now = time
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains (or *max_events* fire)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {max_events} events"
+                    " — likely a runaway feedback loop"
+                )

@@ -1,0 +1,110 @@
+"""Load balancing across replicated service instances.
+
+The paper balances client requests "to any of the enclaves in the UA
+layer" and UA->IA traffic "to any of the enclaves of the latter" using
+Kubernetes' kube-proxy.  kube-proxy's default iptables mode picks a
+random backend; we provide that plus round-robin and least-pending
+policies for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Generic, List, Protocol, Sequence, TypeVar
+
+__all__ = ["LoadBalancer", "RandomPolicy", "RoundRobinPolicy", "LeastPendingPolicy", "make_policy"]
+
+
+class _HasPending(Protocol):
+    @property
+    def pending(self) -> int: ...
+
+
+BackendT = TypeVar("BackendT")
+
+
+class BalancingPolicy(Generic[BackendT]):
+    """Strategy interface: choose one backend from a non-empty pool."""
+
+    name = "abstract"
+
+    def choose(self, backends: Sequence[BackendT]) -> BackendT:
+        raise NotImplementedError
+
+
+@dataclass
+class RandomPolicy(BalancingPolicy):
+    """Uniform random choice (kube-proxy iptables default)."""
+
+    rng: random.Random
+    name: str = field(default="random", init=False)
+
+    def choose(self, backends: Sequence[BackendT]) -> BackendT:
+        return backends[self.rng.randrange(len(backends))]
+
+
+@dataclass
+class RoundRobinPolicy(BalancingPolicy):
+    """Cycle through backends in order (kube-proxy ipvs rr)."""
+
+    _next: int = 0
+    name: str = field(default="round-robin", init=False)
+
+    def choose(self, backends: Sequence[BackendT]) -> BackendT:
+        backend = backends[self._next % len(backends)]
+        self._next += 1
+        return backend
+
+
+@dataclass
+class LeastPendingPolicy(BalancingPolicy):
+    """Pick the backend with the fewest outstanding jobs.
+
+    Requires backends exposing a ``pending`` property (our proxy
+    instances and LRS frontends do).  Ties break by pool order.
+    """
+
+    name: str = field(default="least-pending", init=False)
+
+    def choose(self, backends: Sequence["_HasPending"]) -> "_HasPending":
+        return min(backends, key=lambda backend: backend.pending)
+
+
+@dataclass
+class LoadBalancer(Generic[BackendT]):
+    """A named pool of backends behind a balancing policy."""
+
+    name: str
+    policy: BalancingPolicy
+    backends: List[BackendT] = field(default_factory=list)
+    decisions: int = 0
+
+    def add(self, backend: BackendT) -> None:
+        """Register a backend with the pool."""
+        self.backends.append(backend)
+
+    def remove(self, backend: BackendT) -> None:
+        """Deregister a backend (elastic scale-down)."""
+        self.backends.remove(backend)
+
+    def pick(self) -> BackendT:
+        """Choose a backend for the next request."""
+        if not self.backends:
+            raise RuntimeError(f"load balancer {self.name!r} has no backends")
+        self.decisions += 1
+        return self.policy.choose(self.backends)
+
+    def __len__(self) -> int:
+        return len(self.backends)
+
+
+def make_policy(name: str, rng: random.Random) -> BalancingPolicy:
+    """Construct a policy by name: random, round-robin or least-pending."""
+    if name == "random":
+        return RandomPolicy(rng=rng)
+    if name == "round-robin":
+        return RoundRobinPolicy()
+    if name == "least-pending":
+        return LeastPendingPolicy()
+    raise ValueError(f"unknown load-balancing policy {name!r}")

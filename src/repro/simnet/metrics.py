@@ -1,0 +1,123 @@
+"""Latency and throughput metrics matching the paper's methodology.
+
+The paper reports round-trip latency distributions as candlestick
+charts: box = 25th/75th percentiles, middle line = median, whiskers =
+most distant point within 1.5 IQR of the box (footnote 7).  Samples
+from the first and last 15 seconds of each measurement period are
+trimmed (§8, "Metrics and workload"), and each configuration is run
+several times with the distributions aggregated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["LatencyRecorder", "CandlestickSummary", "percentile", "trim_window"]
+
+
+def percentile(sorted_samples: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of pre-sorted *sorted_samples*."""
+    if not sorted_samples:
+        raise ValueError("cannot take a percentile of no samples")
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    position = fraction * (len(sorted_samples) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return sorted_samples[lower]
+    weight = position - lower
+    return sorted_samples[lower] * (1 - weight) + sorted_samples[upper] * weight
+
+
+@dataclass(frozen=True)
+class CandlestickSummary:
+    """Five-value summary used by the paper's candlestick charts."""
+
+    p25: float
+    median: float
+    p75: float
+    whisker_low: float
+    whisker_high: float
+    count: int
+    mean: float
+    p99: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.p75 - self.p25
+
+    def row(self, unit_scale: float = 1000.0) -> str:
+        """Render a fixed-width table row (default unit: milliseconds)."""
+        return (
+            f"p25={self.p25 * unit_scale:8.1f}  med={self.median * unit_scale:8.1f}"
+            f"  p75={self.p75 * unit_scale:8.1f}  wlo={self.whisker_low * unit_scale:8.1f}"
+            f"  whi={self.whisker_high * unit_scale:8.1f}  p99={self.p99 * unit_scale:8.1f}"
+            f"  max={self.maximum * unit_scale:8.1f}  n={self.count}"
+        )
+
+
+@dataclass
+class LatencyRecorder:
+    """Accumulates (completion_time, latency) samples for one series."""
+
+    name: str = "latency"
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, completion_time: float, latency: float) -> None:
+        """Add one round-trip sample."""
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self.samples.append((completion_time, latency))
+
+    def extend(self, other: "LatencyRecorder") -> None:
+        """Merge another recorder's samples (multi-run aggregation)."""
+        self.samples.extend(other.samples)
+
+    def latencies(self) -> List[float]:
+        """All recorded latencies, in completion order."""
+        return [latency for _, latency in self.samples]
+
+    def trimmed(self, start: float, end: float) -> List[float]:
+        """Latencies of samples completing within ``[start, end]``."""
+        return [lat for t, lat in self.samples if start <= t <= end]
+
+    def summarize(self, values: Optional[Iterable[float]] = None) -> CandlestickSummary:
+        """Compute the candlestick summary over *values* (or everything)."""
+        data = sorted(values if values is not None else self.latencies())
+        if not data:
+            raise ValueError(f"recorder {self.name!r} has no samples to summarize")
+        p25 = percentile(data, 0.25)
+        median = percentile(data, 0.50)
+        p75 = percentile(data, 0.75)
+        iqr = p75 - p25
+        low_bound = p25 - 1.5 * iqr
+        high_bound = p75 + 1.5 * iqr
+        whisker_low = min(v for v in data if v >= low_bound)
+        whisker_high = max(v for v in data if v <= high_bound)
+        return CandlestickSummary(
+            p25=p25,
+            median=median,
+            p75=p75,
+            whisker_low=whisker_low,
+            whisker_high=whisker_high,
+            count=len(data),
+            mean=sum(data) / len(data),
+            p99=percentile(data, 0.99),
+            maximum=data[-1],
+        )
+
+
+def trim_window(phase_start: float, phase_end: float, trim: float = 15.0) -> Tuple[float, float]:
+    """The paper's measurement window: trim *trim* seconds at each end."""
+    start = phase_start + trim
+    end = phase_end - trim
+    if end <= start:
+        raise ValueError(
+            f"phase [{phase_start}, {phase_end}] too short for a {trim}s trim at each end"
+        )
+    return start, end

@@ -1,0 +1,113 @@
+"""Cluster monitoring: periodic sampling of component health series.
+
+The paper's experimental platform "collect[s] logs in a systematic
+fashion using fluentd" (§7.2); operationally, the elastic scaler and
+the breach detector both need live utilization signals.  This module
+provides the collection side: a :class:`MetricsCollector` samples
+registered gauges on an interval into time series that can be
+queried, summarized, or rendered — all in virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.simnet.clock import EventLoop
+
+__all__ = ["MetricsCollector", "TimeSeries", "node_gauges"]
+
+
+@dataclass
+class TimeSeries:
+    """One sampled metric: (time, value) points."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        self.points.append((time, value))
+
+    def last(self) -> Optional[float]:
+        """Most recent value, or None before the first sample."""
+        return self.points[-1][1] if self.points else None
+
+    def values(self) -> List[float]:
+        return [value for _, value in self.points]
+
+    def maximum(self) -> float:
+        values = self.values()
+        if not values:
+            raise ValueError(f"series {self.name!r} has no samples")
+        return max(values)
+
+    def mean(self) -> float:
+        values = self.values()
+        if not values:
+            raise ValueError(f"series {self.name!r} has no samples")
+        return sum(values) / len(values)
+
+    def window(self, start: float, end: float) -> List[float]:
+        """Values sampled within ``[start, end]``."""
+        return [value for time, value in self.points if start <= time <= end]
+
+
+@dataclass
+class MetricsCollector:
+    """Samples registered gauge callables every *interval* seconds."""
+
+    loop: EventLoop
+    interval: float = 1.0
+    series: Dict[str, TimeSeries] = field(default_factory=dict)
+    _gauges: Dict[str, Callable[[], float]] = field(default_factory=dict)
+    _running: bool = False
+    samples_taken: int = 0
+
+    def register(self, name: str, gauge: Callable[[], float]) -> None:
+        """Register a gauge; its values land in the series *name*."""
+        if name in self._gauges:
+            raise ValueError(f"gauge {name!r} already registered")
+        self._gauges[name] = gauge
+        self.series[name] = TimeSeries(name=name)
+
+    def start(self) -> None:
+        """Begin periodic sampling."""
+        if self._running:
+            return
+        self._running = True
+        self.loop.schedule(self.interval, self._sample)
+
+    def stop(self) -> None:
+        """Stop sampling (the next tick becomes a no-op)."""
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        now = self.loop.now
+        for name, gauge in self._gauges.items():
+            self.series[name].append(now, float(gauge()))
+        self.samples_taken += 1
+        self.loop.schedule(self.interval, self._sample)
+
+    def render(self) -> str:
+        """One summary line per series."""
+        lines = [f"{'series':36s} {'last':>10s} {'mean':>10s} {'max':>10s} {'n':>6s}"]
+        for name in sorted(self.series):
+            series = self.series[name]
+            if not series.points:
+                lines.append(f"{name:36s} {'-':>10s} {'-':>10s} {'-':>10s} {0:6d}")
+                continue
+            lines.append(
+                f"{name:36s} {series.last():10.3f} {series.mean():10.3f}"
+                f" {series.maximum():10.3f} {len(series.points):6d}"
+            )
+        return "\n".join(lines)
+
+
+def node_gauges(collector: MetricsCollector, node, prefix: Optional[str] = None) -> None:
+    """Register the standard gauges of a :class:`~repro.simnet.node.SimNode`."""
+    label = prefix or node.name
+    collector.register(f"{label}.queue_length", lambda: node.queue_length)
+    collector.register(f"{label}.busy_cores", lambda: node.busy_cores)
+    collector.register(f"{label}.utilization", lambda: node.utilization())

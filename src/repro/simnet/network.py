@@ -1,0 +1,119 @@
+"""Simulated cluster network with an adversary observation tap.
+
+The PProx adversary "may monitor network flows between the nodes
+forming this infrastructure, both with the outside world and
+internally, and correlate in time its observations" (paper §2.3).
+Every message delivered through :class:`Network` is therefore recorded
+as a :class:`FlowRecord` — endpoints, timestamp and *size only* (the
+payload itself is encrypted; the observation model must not grant the
+adversary plaintext access).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.simnet.clock import EventLoop
+
+__all__ = ["Network", "FlowRecord", "LatencyModel"]
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One observed network transmission (metadata only)."""
+
+    time: float
+    source: str
+    destination: str
+    size_bytes: int
+    flow_id: int
+
+
+@dataclass
+class LatencyModel:
+    """Per-hop latency: base + uniform jitter + size-proportional term.
+
+    Defaults approximate an intra-datacenter hop (the paper co-locates
+    PProx with the LRS "to avoid indirections through multiple data
+    centers").
+    """
+
+    base_seconds: float = 0.0003
+    jitter_seconds: float = 0.0002
+    seconds_per_byte: float = 1.0 / 1_000_000_000  # ~1 GbE payload cost
+
+    def sample(self, size_bytes: int, rng: random.Random) -> float:
+        """Draw a delivery latency for a message of *size_bytes*."""
+        jitter = rng.uniform(0, self.jitter_seconds)
+        return self.base_seconds + jitter + size_bytes * self.seconds_per_byte
+
+
+@dataclass
+class Network:
+    """Message fabric connecting simulation actors by name."""
+
+    loop: EventLoop
+    rng: random.Random
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    record_flows: bool = True
+    flows: List[FlowRecord] = field(default_factory=list)
+    _observers: List[Callable[[FlowRecord], None]] = field(default_factory=list)
+    _wiretaps: List[Callable[[FlowRecord, Any], None]] = field(default_factory=list)
+    _flow_counter: int = 0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+
+    def add_observer(self, observer: Callable[[FlowRecord], None]) -> None:
+        """Attach a live observer (e.g. the adversary) to the tap."""
+        self._observers.append(observer)
+
+    def add_wiretap(self, wiretap: Callable[[FlowRecord, Any], None]) -> None:
+        """Attach a payload-level tap.
+
+        The PProx adversary bypasses TLS and sees traffic "in the
+        clear" (§2.3) — but cleartext on this wire is JSON whose
+        sensitive fields are ciphertext, so a wiretap grants exactly
+        what the paper grants: encrypted bodies plus flow metadata.
+        """
+        self._wiretaps.append(wiretap)
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        payload: Any,
+        size_bytes: int,
+        on_deliver: Callable[[Any], None],
+        extra_delay: float = 0.0,
+    ) -> int:
+        """Deliver *payload* after a sampled network latency.
+
+        Returns the flow id assigned to this transmission.  The
+        adversary tap sees endpoints, time and size — never *payload*.
+        """
+        self._flow_counter += 1
+        flow_id = self._flow_counter
+        record = FlowRecord(
+            time=self.loop.now,
+            source=source,
+            destination=destination,
+            size_bytes=size_bytes,
+            flow_id=flow_id,
+        )
+        if self.record_flows:
+            self.flows.append(record)
+        for observer in self._observers:
+            observer(record)
+        for wiretap in self._wiretaps:
+            wiretap(record, payload)
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        delay = self.latency.sample(size_bytes, self.rng) + extra_delay
+        self.loop.schedule(delay, lambda: on_deliver(payload))
+        return flow_id
+
+    def clear_flows(self) -> None:
+        """Drop recorded flow metadata (e.g. between experiment phases)."""
+        self.flows.clear()

@@ -1,0 +1,67 @@
+"""Queueing primitives mirroring the proxy server implementation (§5).
+
+The paper's proxy server is an event-driven single thread pushing
+incoming connections' file descriptors into "a lock-free, scalable
+concurrent queue" (Desrochers' moodycamel queue), drained by a pool of
+data-processing threads running inside the SGX enclave.  We model the
+queue as a FIFO with registered consumers, which is behaviourally
+equivalent under the simulator's sequential execution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, List
+
+__all__ = ["ConcurrentQueue"]
+
+
+@dataclass
+class ConcurrentQueue:
+    """FIFO work queue with pull-style consumers.
+
+    Consumers register a readiness callback; when an item is pushed
+    and a consumer is idle, the item is handed over immediately,
+    preserving the FIFO fairness objective the paper calls out
+    ("no request gets delayed arbitrarily more than the delay that
+    shuffling already introduces").
+    """
+
+    name: str = "queue"
+    _items: Deque[Any] = field(default_factory=deque)
+    _idle_consumers: Deque[Callable[[Any], None]] = field(default_factory=deque)
+    enqueued: int = 0
+    max_depth: int = 0
+
+    def push(self, item: Any) -> None:
+        """Add *item*; dispatches immediately if a consumer is idle."""
+        self.enqueued += 1
+        if self._idle_consumers:
+            consumer = self._idle_consumers.popleft()
+            consumer(item)
+            return
+        self._items.append(item)
+        self.max_depth = max(self.max_depth, len(self._items))
+
+    def push_all(self, items: List[Any]) -> None:
+        """Push a batch of items in order."""
+        for item in items:
+            self.push(item)
+
+    def request_item(self, consumer: Callable[[Any], None]) -> None:
+        """A consumer asks for the next item (now or when one arrives)."""
+        if self._items:
+            consumer(self._items.popleft())
+            return
+        self._idle_consumers.append(consumer)
+
+    @property
+    def depth(self) -> int:
+        """Items currently waiting."""
+        return len(self._items)
+
+    @property
+    def idle_consumers(self) -> int:
+        """Consumers currently blocked waiting for work."""
+        return len(self._idle_consumers)

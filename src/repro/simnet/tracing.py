@@ -1,0 +1,130 @@
+"""Per-request latency breakdown, reconstructed from wire events.
+
+Operators (not the adversary!) can attach a :class:`BreakdownProbe`
+to the simulated network; it watches payload-level events and
+reconstructs, for every request id, how long each pipeline stage
+held the request:
+
+======================  ===================================================
+``ua_inbound``          client send -> UA forwards to IA (client-side
+                        crypto, network, UA shuffle buffer + processing)
+``ia_inbound``          UA send -> IA forwards to the LRS
+``lrs``                 IA send -> LRS replies
+``ia_outbound``         LRS reply -> IA forwards to UA (response shuffle
+                        buffer + de-pseudonymization + re-encryption)
+``ua_outbound``         IA reply -> UA replies to the client
+======================  ===================================================
+
+This is how Figure 7/8-style anomalies are diagnosed: at low RPS the
+``ua_inbound`` and ``ia_outbound`` stages (the two shuffle buffers)
+dominate; near saturation the bottleneck layer's processing time does.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.rest.messages import Request, Response
+from repro.simnet.metrics import percentile
+from repro.simnet.network import FlowRecord, Network
+
+__all__ = ["BreakdownProbe", "RequestTimeline", "STAGES"]
+
+STAGES = ("ua_inbound", "ia_inbound", "lrs", "ia_outbound", "ua_outbound")
+
+
+def _role(address: str) -> str:
+    if address.startswith("client") or address.startswith("app-frontend"):
+        return "client"
+    if address.startswith("pprox-ua"):
+        return "ua"
+    if address.startswith("pprox-ia"):
+        return "ia"
+    return "lrs"
+
+
+@dataclass
+class RequestTimeline:
+    """Send timestamps of one request's traversal, by hop."""
+
+    request_id: int
+    send_times: Dict[str, float] = field(default_factory=dict)
+
+    def record(self, hop: str, time: float) -> None:
+        self.send_times.setdefault(hop, time)
+
+    def stage_durations(self) -> Optional[Dict[str, float]]:
+        """Per-stage durations, or None while the trace is incomplete."""
+        hops = self.send_times
+        required = ["client->ua", "ua->ia", "ia->lrs", "lrs->ia", "ia->ua", "ua->client"]
+        if any(hop not in hops for hop in required):
+            return None
+        return {
+            "ua_inbound": hops["ua->ia"] - hops["client->ua"],
+            "ia_inbound": hops["ia->lrs"] - hops["ua->ia"],
+            "lrs": hops["lrs->ia"] - hops["ia->lrs"],
+            "ia_outbound": hops["ia->ua"] - hops["lrs->ia"],
+            "ua_outbound": hops["ua->client"] - hops["ia->ua"],
+        }
+
+
+@dataclass
+class BreakdownProbe:
+    """Collects request timelines from a network's payload tap."""
+
+    timelines: Dict[int, RequestTimeline] = field(default_factory=dict)
+
+    def attach(self, network: Network) -> None:
+        """Start observing *network* (operator-side, sees request ids)."""
+        network.add_wiretap(self._observe)
+
+    def _observe(self, record: FlowRecord, payload: object) -> None:
+        if isinstance(payload, (Request, Response)):
+            request_id = payload.request_id
+        else:
+            return
+        if request_id == 0:
+            return
+        hop = f"{_role(record.source)}->{_role(record.destination)}"
+        timeline = self.timelines.get(request_id)
+        if timeline is None:
+            timeline = RequestTimeline(request_id=request_id)
+            self.timelines[request_id] = timeline
+        timeline.record(hop, record.time)
+
+    def complete_traces(self) -> List[Dict[str, float]]:
+        """Stage durations of every fully-observed request."""
+        out = []
+        for timeline in self.timelines.values():
+            durations = timeline.stage_durations()
+            if durations is not None:
+                out.append(durations)
+        return out
+
+    def aggregate(self, fraction: float = 0.5) -> Dict[str, float]:
+        """Per-stage percentile (default median) across all traces."""
+        traces = self.complete_traces()
+        if not traces:
+            raise ValueError("no complete traces collected")
+        by_stage: Dict[str, List[float]] = defaultdict(list)
+        for durations in traces:
+            for stage, value in durations.items():
+                by_stage[stage].append(value)
+        return {
+            stage: percentile(sorted(values), fraction)
+            for stage, values in by_stage.items()
+        }
+
+    def render(self) -> str:
+        """Text table of the median breakdown."""
+        aggregated = self.aggregate()
+        total = sum(aggregated.values())
+        lines = [f"{'stage':14s} {'median ms':>10s} {'share':>7s}"]
+        for stage in STAGES:
+            value = aggregated.get(stage, 0.0)
+            share = value / total if total else 0.0
+            lines.append(f"{stage:14s} {value * 1000:10.2f} {share:7.1%}")
+        lines.append(f"{'total':14s} {total * 1000:10.2f}")
+        return "\n".join(lines)

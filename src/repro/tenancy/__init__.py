@@ -1,0 +1,17 @@
+"""Multi-tenant RaaS deployments (§6.3 traffic-aggregation mitigation)."""
+
+from repro.tenancy.directory import TenantDirectory, TenantRecord, tenant_slot
+from repro.tenancy.service import (
+    TenantItemAnonymizer,
+    TenantUserAnonymizer,
+    build_multi_tenant_pprox,
+)
+
+__all__ = [
+    "TenantDirectory",
+    "TenantRecord",
+    "tenant_slot",
+    "TenantUserAnonymizer",
+    "TenantItemAnonymizer",
+    "build_multi_tenant_pprox",
+]

@@ -1,0 +1,15 @@
+"""Workload generation and injection (the paper's §7.1 and §8 setup)."""
+
+from repro.workload.injector import InjectionReport, Injector
+from repro.workload.movielens import PAPER_SLICE, SyntheticMovieLens
+from repro.workload.scenario import ScenarioResult, ScenarioTimings, TwoPhaseScenario
+
+__all__ = [
+    "Injector",
+    "InjectionReport",
+    "SyntheticMovieLens",
+    "PAPER_SLICE",
+    "TwoPhaseScenario",
+    "ScenarioTimings",
+    "ScenarioResult",
+]

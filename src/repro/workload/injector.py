@@ -1,0 +1,86 @@
+"""Open-loop workload injector (the paper's node.js ``loadtest``).
+
+"We built an HTTP load injector based on the high-performance
+loadtest library for node.js.  The injector issues REST API calls and
+times their execution" (§7.1).  The injector is open-loop: arrivals
+are scheduled at the target rate regardless of completions, which is
+what exposes saturation as unbounded latency growth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Tuple
+
+from repro.client.library import CompletedCall
+from repro.simnet.clock import EventLoop
+from repro.simnet.metrics import LatencyRecorder
+
+__all__ = ["Injector", "InjectionReport"]
+
+
+@dataclass
+class InjectionReport:
+    """Counters for one injection phase."""
+
+    issued: int = 0
+    completed: int = 0
+    failed: int = 0
+
+    @property
+    def completion_ratio(self) -> float:
+        """Fraction of issued calls that completed."""
+        return self.completed / self.issued if self.issued else 1.0
+
+
+@dataclass
+class Injector:
+    """Schedules API calls at a fixed rate and records latencies.
+
+    *call_factory* yields ``(issue, description)`` pairs: ``issue`` is
+    invoked with a completion callback at each arrival instant.  The
+    per-arrival jitter models the injector's own scheduling noise.
+    """
+
+    loop: EventLoop
+    rng: random.Random
+    recorder: LatencyRecorder = field(default_factory=LatencyRecorder)
+    report: InjectionReport = field(default_factory=InjectionReport)
+    jitter_seconds: float = 0.001
+
+    def inject(
+        self,
+        rate_per_second: float,
+        duration: float,
+        issue_call: Callable[[Callable[[CompletedCall], None]], None],
+        start_at: Optional[float] = None,
+    ) -> Tuple[float, float]:
+        """Schedule arrivals at *rate_per_second* for *duration* seconds.
+
+        Returns the (start, end) times of the phase.  Must be called
+        before running the loop across that window.
+        """
+        if rate_per_second <= 0:
+            raise ValueError("rate must be positive")
+        start = start_at if start_at is not None else self.loop.now
+        count = int(rate_per_second * duration)
+        interval = 1.0 / rate_per_second
+        for index in range(count):
+            arrival = start + index * interval + self.rng.uniform(0, self.jitter_seconds)
+            self.loop.schedule_at(arrival, self._arrival(issue_call))
+        return start, start + duration
+
+    def _arrival(self, issue_call: Callable[[Callable[[CompletedCall], None]], None]) -> Callable[[], None]:
+        def fire() -> None:
+            self.report.issued += 1
+            issue_call(self._on_complete)
+
+        return fire
+
+    def _on_complete(self, call: CompletedCall) -> None:
+        if call.ok:
+            self.report.completed += 1
+            self.recorder.record(call.completed_at, call.latency)
+        else:
+            self.report.failed += 1

@@ -1,0 +1,87 @@
+"""AES block cipher: FIPS-197 vectors, roundtrips, error handling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+
+PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+FIPS_VECTORS = [
+    # (key hex, expected ciphertext hex) — FIPS-197 appendix C.
+    ("000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    ("000102030405060708090a0b0c0d0e0f1011121314151617", "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+
+@pytest.mark.parametrize("key_hex,expected_hex", FIPS_VECTORS)
+def test_fips_197_encrypt_vectors(key_hex, expected_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.encrypt_block(PLAINTEXT).hex() == expected_hex
+
+
+@pytest.mark.parametrize("key_hex,expected_hex", FIPS_VECTORS)
+def test_fips_197_decrypt_vectors(key_hex, expected_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.decrypt_block(bytes.fromhex(expected_hex)) == PLAINTEXT
+
+
+@pytest.mark.parametrize("key_size,rounds", [(16, 10), (24, 12), (32, 14)])
+def test_round_counts(key_size, rounds):
+    assert AES(bytes(key_size)).rounds == rounds
+
+
+@pytest.mark.parametrize("bad_size", [0, 1, 15, 17, 20, 31, 33, 64])
+def test_rejects_bad_key_sizes(bad_size):
+    with pytest.raises(ValueError, match="AES key"):
+        AES(bytes(bad_size))
+
+
+@pytest.mark.parametrize("bad_block", [b"", b"short", bytes(15), bytes(17)])
+def test_rejects_bad_block_sizes(bad_block):
+    cipher = AES(bytes(16))
+    with pytest.raises(ValueError, match="block"):
+        cipher.encrypt_block(bad_block)
+    with pytest.raises(ValueError, match="block"):
+        cipher.decrypt_block(bad_block)
+
+
+def test_block_size_constant():
+    assert BLOCK_SIZE == 16
+
+
+def test_encryption_changes_data():
+    cipher = AES(bytes(32))
+    assert cipher.encrypt_block(bytes(16)) != bytes(16)
+
+
+def test_different_keys_different_ciphertexts():
+    one = AES(bytes(16)).encrypt_block(PLAINTEXT)
+    other = AES(bytes([1] * 16)).encrypt_block(PLAINTEXT)
+    assert one != other
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    key=st.binary(min_size=16, max_size=16) | st.binary(min_size=32, max_size=32),
+    block=st.binary(min_size=16, max_size=16),
+)
+def test_roundtrip_property(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@settings(max_examples=10, deadline=None)
+@given(block=st.binary(min_size=16, max_size=16))
+def test_encrypt_is_permutation_like(block):
+    """Distinct plaintexts map to distinct ciphertexts (injectivity)."""
+    cipher = AES(bytes(range(16)))
+    other = bytes(b ^ 0xFF for b in block)
+    assert cipher.encrypt_block(block) != cipher.encrypt_block(other)

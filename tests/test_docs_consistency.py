@@ -1,0 +1,75 @@
+"""Documentation stays in sync with the code tree."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_required_documents_exist():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                 "docs/architecture.md", "docs/protocol.md",
+                 "docs/threat-model.md"):
+        assert (REPO / name).exists(), f"missing {name}"
+
+
+def test_readme_examples_table_matches_files():
+    readme = (REPO / "README.md").read_text()
+    for script in re.findall(r"`(\w+\.py)`", readme):
+        if script in {"settings.py"}:
+            continue
+        candidates = [REPO / "examples" / script]
+        assert any(c.exists() for c in candidates), f"README references missing {script}"
+
+
+def test_design_module_map_matches_packages():
+    design = (REPO / "DESIGN.md").read_text()
+    source = REPO / "src" / "repro"
+    packages = {
+        p.name for p in source.iterdir()
+        if p.is_dir() and (p / "__init__.py").exists()
+    }
+    for package in packages:
+        assert f"{package}" in design, f"DESIGN.md does not mention repro.{package}"
+
+
+def test_experiments_md_references_existing_benches():
+    experiments = (REPO / "EXPERIMENTS.md").read_text()
+    for bench in re.findall(r"`(?:benchmarks/)?(test_\w+\.py)", experiments):
+        paths = [REPO / "benchmarks" / bench, REPO / "tests" / bench]
+        assert any(p.exists() for p in paths), f"EXPERIMENTS.md references missing {bench}"
+
+
+def test_every_package_module_has_a_docstring():
+    missing = []
+    for path in (REPO / "src" / "repro").rglob("*.py"):
+        text = path.read_text()
+        stripped = text.lstrip()
+        if not (stripped.startswith('"""') or stripped.startswith("'''")):
+            missing.append(str(path.relative_to(REPO)))
+    assert missing == [], f"modules without docstrings: {missing}"
+
+
+def test_every_test_file_has_a_docstring():
+    missing = []
+    for path in (REPO / "tests").glob("test_*.py"):
+        stripped = path.read_text().lstrip()
+        if not stripped.startswith('"""'):
+            missing.append(path.name)
+    assert missing == []
+
+
+def test_paper_constants_consistent():
+    """The headline constants appear consistently across docs."""
+    readme = (REPO / "README.md").read_text()
+    design = (REPO / "DESIGN.md").read_text()
+    assert "27-node" in readme and "27-node" in design
+    assert "250" in readme  # the per-pair capacity figure
+    from repro.cluster.deployments import CLUSTER_NODE_BUDGET, MICRO_CONFIGS
+
+    assert CLUSTER_NODE_BUDGET == 27
+    assert MICRO_CONFIGS["m6"].max_rps == 250

@@ -1,0 +1,82 @@
+"""Periodic training scheduler (the recurring Spark job of §7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lrs.scheduler import TrainingScheduler
+from repro.lrs.service import HarnessService
+from repro.rest.messages import make_get, make_post
+from repro.simnet.clock import EventLoop
+from repro.simnet.rng import RngRegistry
+
+
+@pytest.fixture
+def stack():
+    loop = EventLoop()
+    rng = RngRegistry(seed=111)
+    harness = HarnessService(loop=loop, rng=rng.stream("lrs"), frontend_count=3)
+    harness.engine.trainer.llr_threshold = 0.0
+    return loop, harness
+
+
+def test_scheduler_trains_periodically(stack):
+    loop, harness = stack
+    scheduler = TrainingScheduler(loop=loop, harness=harness, interval=10.0)
+    scheduler.start()
+    loop.run_until(35.0)
+    scheduler.stop()
+    loop.run()
+    assert harness.engine.trainings >= 3
+    assert len(scheduler.completions) == harness.engine.trainings
+
+
+def test_new_feedback_is_picked_up_by_the_next_run(stack):
+    loop, harness = stack
+    scheduler = TrainingScheduler(loop=loop, harness=harness, interval=10.0)
+    scheduler.start()
+    for user, item in [("a", "i1"), ("a", "i2"), ("b", "i1"), ("b", "i3")]:
+        harness.pick_frontend().handle(make_post(user, item), lambda r: None)
+    loop.run_until(15.0)
+    responses = []
+    harness.pick_frontend().handle(make_get("a"), responses.append)
+    loop.run_until(20.0)
+    scheduler.stop()
+    loop.run()
+    assert responses[0].ok
+    assert "i3" in responses[0].fields["items"]
+
+
+def test_job_duration_grows_with_data(stack):
+    loop, harness = stack
+    scheduler = TrainingScheduler(loop=loop, harness=harness, interval=10.0)
+    empty = scheduler.job_duration()
+    for index in range(100):
+        harness.engine.post_event(f"u{index}", f"i{index}")
+    assert scheduler.job_duration() > empty
+
+
+def test_training_occupies_the_support_pool(stack):
+    loop, harness = stack
+    scheduler = TrainingScheduler(loop=loop, harness=harness, interval=5.0,
+                                  base_seconds=4.0)
+    scheduler.start()
+    loop.run_until(6.0)
+    # The job is running on the support node right now.
+    assert scheduler.training_in_progress
+    assert harness.support.busy_cores >= 1
+    scheduler.stop()
+    loop.run()
+
+
+def test_overlapping_runs_are_skipped(stack):
+    """If a job outlasts the interval, the next tick does not stack a
+    second concurrent Spark run."""
+    loop, harness = stack
+    scheduler = TrainingScheduler(loop=loop, harness=harness, interval=2.0,
+                                  base_seconds=7.0)
+    scheduler.start()
+    loop.run_until(10.0)
+    scheduler.stop()
+    loop.run()
+    assert harness.engine.trainings <= 2

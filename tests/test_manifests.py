@@ -1,0 +1,61 @@
+"""Deployment manifests stay in sync with the configuration tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.deployments import MACRO_FULL, MICRO_CONFIGS, cluster_plan
+from repro.cluster.manifests import all_manifest_names, render_manifest
+
+
+def test_every_configuration_has_a_manifest():
+    for name in all_manifest_names():
+        manifest = render_manifest(name)
+        assert f"pprox-{name}" in manifest
+
+
+def test_micro_manifest_lists_proxy_pods():
+    manifest = render_manifest("m9")
+    for index in range(4):
+        assert f"pprox-ua-{index}" in manifest
+        assert f"pprox-ia-{index}" in manifest
+    assert "lrs-stub" in manifest
+    assert "SHUFFLE_SIZE: 10" in manifest
+
+
+def test_m1_manifest_disables_sgx_and_encryption():
+    manifest = render_manifest("m1")
+    assert "sgx: {enabled: false" in manifest
+    assert "ENCRYPTION: false" in manifest
+
+
+def test_macro_manifest_lists_harness_stack():
+    manifest = render_manifest("f4")
+    for index in range(12):
+        assert f"harness-fe-{index}" in manifest
+    assert "elasticsearch-0" in manifest
+    assert "mongo-spark" in manifest
+    assert "kube-proxy" in manifest
+
+
+def test_baseline_manifest_has_no_proxy_pods():
+    manifest = render_manifest("b2")
+    assert "pprox-ua" not in manifest
+    assert "harness-fe-5" in manifest
+
+
+def test_pod_count_matches_cluster_plan():
+    for name in ("m6", "m9", "b1", "f4"):
+        manifest = render_manifest(name)
+        _, node_count = cluster_plan(name)
+        pods = manifest.count("  - name: ")
+        assert pods == node_count, f"{name}: {pods} pods vs {node_count} planned nodes"
+
+
+def test_manifest_mentions_fluentd_logging():
+    assert "fluentd" in render_manifest("m6")
+
+
+def test_unknown_configuration_rejected():
+    with pytest.raises(KeyError):
+        render_manifest("x1")

@@ -1,0 +1,87 @@
+"""Metrics collection over virtual time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet.clock import EventLoop
+from repro.simnet.monitoring import MetricsCollector, TimeSeries, node_gauges
+from repro.simnet.node import SimNode
+
+
+def test_collector_samples_on_interval():
+    loop = EventLoop()
+    collector = MetricsCollector(loop=loop, interval=1.0)
+    counter = {"value": 0}
+
+    def gauge():
+        counter["value"] += 1
+        return counter["value"]
+
+    collector.register("counter", gauge)
+    collector.start()
+    loop.run_until(5.5)
+    collector.stop()
+    assert len(collector.series["counter"].points) == 5
+    assert collector.series["counter"].values() == [1, 2, 3, 4, 5]
+
+
+def test_sample_timestamps_are_virtual_time():
+    loop = EventLoop()
+    collector = MetricsCollector(loop=loop, interval=2.0)
+    collector.register("g", lambda: 1.0)
+    collector.start()
+    loop.run_until(6.5)
+    collector.stop()
+    times = [time for time, _ in collector.series["g"].points]
+    assert times == [2.0, 4.0, 6.0]
+
+
+def test_duplicate_gauge_rejected():
+    collector = MetricsCollector(loop=EventLoop())
+    collector.register("g", lambda: 0)
+    with pytest.raises(ValueError, match="already registered"):
+        collector.register("g", lambda: 0)
+
+
+def test_node_gauges_track_load():
+    loop = EventLoop()
+    node = SimNode(name="n", loop=loop, cores=1)
+    collector = MetricsCollector(loop=loop, interval=0.5)
+    node_gauges(collector, node)
+    collector.start()
+    for _ in range(4):
+        node.submit(1.0, lambda: None)
+    loop.run_until(2.0)
+    collector.stop()
+    loop.run()
+    queue_series = collector.series["n.queue_length"]
+    assert queue_series.maximum() >= 2
+    busy = collector.series["n.busy_cores"]
+    assert busy.maximum() == 1
+
+
+def test_series_window_and_stats():
+    series = TimeSeries(name="s")
+    for time in range(10):
+        series.append(float(time), float(time * 2))
+    assert series.window(2.0, 4.0) == [4.0, 6.0, 8.0]
+    assert series.mean() == pytest.approx(9.0)
+    assert series.last() == 18.0
+
+
+def test_series_stats_require_samples():
+    with pytest.raises(ValueError):
+        TimeSeries(name="empty").mean()
+
+
+def test_render_contains_all_series():
+    loop = EventLoop()
+    collector = MetricsCollector(loop=loop, interval=1.0)
+    collector.register("a.b", lambda: 1.5)
+    collector.register("never.sampled", lambda: 0)
+    collector.start()
+    loop.run_until(1.0)
+    collector.stop()
+    text = collector.render()
+    assert "a.b" in text and "never.sampled" in text

@@ -1,0 +1,69 @@
+"""History-based intersection attack (§6.3) and its mitigation."""
+
+from __future__ import annotations
+
+import random
+
+from repro.privacy.history import HistoryAttack
+
+
+def _decoys(count: int, universe: int, size: int, seed: int):
+    rng = random.Random(seed)
+    return [
+        {f"item-{rng.randrange(universe)}" for _ in range(size)} for _ in range(count)
+    ]
+
+
+def test_stable_profile_converges():
+    """A user who keeps receiving the same items is identified after a
+    few rounds, exactly as §6.3 warns."""
+    target = [{"movie-a", "movie-b", "movie-c"}] * 8
+    attack = HistoryAttack(shuffle_size=10, seed=1)
+    result = attack.run(target, _decoys(200, universe=1000, size=3, seed=2))
+    assert result.converged
+    assert result.candidates == {"movie-a", "movie-b", "movie-c"}
+
+
+def test_varying_profile_resists():
+    """If recommendations change every round, the intersection never
+    stabilizes on the target's items."""
+    rng = random.Random(3)
+    target = [{f"movie-{rng.randrange(10_000)}" for _ in range(3)} for _ in range(8)]
+    attack = HistoryAttack(shuffle_size=10, seed=4)
+    result = attack.run(target, _decoys(200, universe=10_000, size=3, seed=5))
+    assert not result.converged
+    assert result.precision < 0.5
+
+
+def test_more_rounds_improve_precision():
+    target = [{"x", "y"}] * 2
+    short = HistoryAttack(shuffle_size=10, seed=6).run(
+        target[:2], _decoys(100, universe=50, size=3, seed=7)
+    )
+    long = HistoryAttack(shuffle_size=10, seed=6).run(
+        [{"x", "y"}] * 10, _decoys(100, universe=50, size=3, seed=7)
+    )
+    assert long.precision >= short.precision
+
+
+def test_single_round_gives_whole_anonymity_set():
+    target = [{"a"}]
+    attack = HistoryAttack(shuffle_size=5, seed=8)
+    result = attack.run(target, _decoys(50, universe=100, size=4, seed=9))
+    assert "a" in result.candidates
+    assert len(result.candidates) > 1  # still hidden among decoys
+
+
+def test_larger_shuffle_buffer_slows_convergence():
+    decoys = _decoys(300, universe=200, size=3, seed=10)
+    target = [{"t1", "t2"}] * 3
+    small = HistoryAttack(shuffle_size=2, seed=11).run(target, decoys)
+    large = HistoryAttack(shuffle_size=20, seed=11).run(target, decoys)
+    assert len(large.candidates) >= len(small.candidates)
+
+
+def test_empty_rounds_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        HistoryAttack(shuffle_size=5).run([], [])

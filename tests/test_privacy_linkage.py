@@ -1,0 +1,46 @@
+"""Shuffling bound (§6.2): empirical linkage success ~= 1/(S*I)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.privacy.linkage import ShuffleLinkageExperiment
+
+
+@pytest.mark.parametrize("shuffle_size,instances", [(5, 1), (10, 1), (5, 2), (10, 4)])
+def test_linkage_probability_matches_theory(shuffle_size, instances):
+    experiment = ShuffleLinkageExperiment(
+        shuffle_size=shuffle_size, instances=instances, seed=3
+    )
+    outcome = experiment.run(trials=3000)
+    theory = outcome.theoretical_probability
+    assert theory == pytest.approx(1.0 / (shuffle_size * instances))
+    # Three-sigma binomial tolerance around the theoretical rate.
+    sigma = (theory * (1 - theory) / outcome.trials) ** 0.5
+    assert abs(outcome.empirical_probability - theory) < 4 * sigma + 1e-9
+
+
+def test_larger_buffers_reduce_linkage():
+    small = ShuffleLinkageExperiment(shuffle_size=2, instances=1, seed=5).run(2000)
+    large = ShuffleLinkageExperiment(shuffle_size=10, instances=1, seed=5).run(2000)
+    assert large.empirical_probability < small.empirical_probability
+
+
+def test_more_instances_reduce_linkage():
+    """Horizontal scaling of the downstream layer *improves*
+    unlinkability (§6.2)."""
+    one = ShuffleLinkageExperiment(shuffle_size=5, instances=1, seed=7).run(2000)
+    four = ShuffleLinkageExperiment(shuffle_size=5, instances=4, seed=7).run(2000)
+    assert four.empirical_probability < one.empirical_probability
+
+
+def test_no_shuffle_means_certain_linkage():
+    """S = 1 with one instance: the adversary always wins."""
+    outcome = ShuffleLinkageExperiment(shuffle_size=1, instances=1, seed=9).run(200)
+    assert outcome.empirical_probability == 1.0
+
+
+def test_outcome_accounting():
+    outcome = ShuffleLinkageExperiment(shuffle_size=5, instances=2, seed=1).run(100)
+    assert outcome.trials == 100
+    assert 0 <= outcome.successes <= 100

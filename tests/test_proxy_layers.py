@@ -1,0 +1,165 @@
+"""Proxy layer instances: data-plane behaviour through the simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import PProxClient
+from repro.crypto.provider import FastCryptoProvider
+from repro.lrs.stub import StubLrs, make_pseudonymous_payload
+from repro.proxy import PProxConfig, build_pprox
+from repro.proxy.costs import DEFAULT_COSTS
+from repro.rest.routing import RoutingError
+from repro.simnet.clock import EventLoop
+from repro.simnet.network import Network
+from repro.simnet.rng import RngRegistry
+
+
+def _stack(config: PProxConfig, seed: int = 21):
+    rng = RngRegistry(seed=seed)
+    loop = EventLoop()
+    network = Network(loop=loop, rng=rng.stream("net"))
+    stub = StubLrs(loop=loop, rng=rng.stream("stub"))
+    provider = FastCryptoProvider(rng_bytes=rng.bytes_fn("crypto"))
+    service = build_pprox(
+        loop, network, rng, config, lrs_picker=lambda: stub, provider=provider
+    )
+    if config.encryption and config.item_pseudonymization:
+        stub.items = make_pseudonymous_payload(
+            provider, service.provisioner.layer_keys["IA"].symmetric_key
+        )
+    client = PProxClient(
+        loop=loop, network=network, provider=provider, service=service,
+        costs=DEFAULT_COSTS, rng=rng.stream("client"),
+    )
+    return loop, network, stub, service, client
+
+
+NOSHUF = PProxConfig(shuffle_size=0)
+
+
+def test_get_roundtrip_through_both_layers():
+    loop, _, _, service, client = _stack(NOSHUF)
+    results = []
+    client.get("alice", on_complete=results.append)
+    loop.run()
+    assert results[0].ok
+    assert results[0].items  # stub items decrypted back to cleartext
+    assert all(item.startswith("static-item-") for item in results[0].items)
+
+
+def test_post_roundtrip():
+    loop, _, _, service, client = _stack(NOSHUF)
+    results = []
+    client.post("alice", "item-1", on_complete=results.append)
+    loop.run()
+    assert results[0].ok
+    assert results[0].items == []
+
+
+def test_layers_count_processed_requests():
+    loop, _, _, service, client = _stack(NOSHUF)
+    for _ in range(3):
+        client.get("u", on_complete=lambda c: None)
+    loop.run()
+    assert service.ua_instances[0].requests_processed == 3
+    assert service.ua_instances[0].responses_processed == 3
+    assert service.ia_instances[0].requests_processed == 3
+
+
+def test_routing_tables_drain():
+    loop, _, _, service, client = _stack(NOSHUF)
+    for _ in range(5):
+        client.get("u", on_complete=lambda c: None)
+    loop.run()
+    assert len(service.ua_instances[0].routing) == 0
+    assert len(service.ia_instances[0].routing) == 0
+
+
+def test_ia_never_sees_client_addresses():
+    loop, network, _, service, client = _stack(NOSHUF)
+    client.get("alice", on_complete=lambda c: None)
+    loop.run()
+    ia_inbound = [
+        f for f in network.flows if f.destination.startswith("pprox-ia")
+    ]
+    assert ia_inbound
+    # IA traffic comes only from the UA layer and the LRS — never from
+    # a client address.
+    assert all(not f.source.startswith("client") for f in ia_inbound)
+    assert any(f.source.startswith("pprox-ua") for f in ia_inbound)
+
+
+def test_lrs_sees_only_pseudonyms():
+    loop, network, stub, service, client = _stack(NOSHUF)
+    taps = []
+    network.add_wiretap(lambda record, payload: taps.append((record, payload)))
+    client.post("alice", "secret-movie", on_complete=lambda c: None)
+    loop.run()
+    lrs_requests = [
+        payload for record, payload in taps
+        if record.destination == stub.address and hasattr(payload, "fields")
+    ]
+    assert lrs_requests
+    for request in lrs_requests:
+        assert request.fields.get("user") != "alice"
+        assert request.fields.get("item") != "secret-movie"
+
+
+def test_shuffling_delays_processing():
+    loop, _, _, service, client = _stack(PProxConfig(shuffle_size=4, shuffle_timeout=0.5))
+    results = []
+    client.get("solo", on_complete=results.append)
+    loop.run()
+    # A lone request waits for the timer on the request and response
+    # buffers: total latency ~ 2 x timeout.
+    assert results[0].latency >= 0.5
+
+
+def test_full_shuffle_batch_proceeds_without_timer():
+    loop, _, _, service, client = _stack(PProxConfig(shuffle_size=4, shuffle_timeout=60.0))
+    results = []
+    for index in range(4):
+        client.get(f"user-{index}", on_complete=results.append)
+    loop.run()
+    assert len(results) == 4
+    assert all(r.latency < 1.0 for r in results)
+
+
+def test_multi_instance_layers_balance_load():
+    loop, _, _, service, client = _stack(
+        PProxConfig(shuffle_size=0, ua_instances=2, ia_instances=2, balancing="round-robin")
+    )
+    for index in range(10):
+        client.get(f"user-{index}", on_complete=lambda c: None)
+    loop.run()
+    assert all(inst.requests_processed > 0 for inst in service.ua_instances)
+    assert all(inst.requests_processed > 0 for inst in service.ia_instances)
+
+
+def test_encryption_disabled_stays_functional():
+    loop, _, _, service, client = _stack(PProxConfig(encryption=False, sgx=False, shuffle_size=0))
+    results = []
+    client.get("alice", on_complete=results.append)
+    loop.run()
+    assert results[0].ok
+    assert results[0].items
+
+
+def test_hardened_hop_end_to_end():
+    loop, _, _, service, client = _stack(PProxConfig(shuffle_size=0, harden_client_hop=True))
+    results = []
+    client.get("alice", on_complete=results.append)
+    client.post("alice", "item-2", on_complete=results.append)
+    loop.run()
+    assert all(r.ok for r in results)
+    get_result = next(r for r in results if r.verb == "GET")
+    assert get_result.items
+
+
+def test_unknown_response_id_raises():
+    loop, _, _, service, client = _stack(NOSHUF)
+    from repro.rest.messages import Response
+
+    with pytest.raises(RoutingError):
+        service.ua_instances[0]._return_to_client(Response(status=200, request_id=424242))

@@ -1,0 +1,43 @@
+"""Experiment index integrity and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments.registry import EXPERIMENT_INDEX, validate_index
+
+
+def test_index_is_sound():
+    assert validate_index() == []
+
+
+def test_index_covers_every_paper_artefact():
+    """All tables, figures and analyses of the paper are indexed."""
+    expected = {"table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10",
+                "sec61", "sec62", "sec63", "sec9", "ablations"}
+    assert set(EXPERIMENT_INDEX) == expected
+
+
+def test_every_experiment_has_claims_and_modules():
+    for experiment in EXPERIMENT_INDEX.values():
+        assert experiment.claims
+        assert experiment.modules
+        assert experiment.bench.endswith(".py")
+
+
+def test_cli_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "PProx reproduction" in out
+    assert "fig10" in out
+
+
+def test_cli_validate(capsys):
+    assert main(["validate"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_cli_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

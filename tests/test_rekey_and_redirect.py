@@ -1,0 +1,178 @@
+"""Footnote-1 option 2 (LRS re-encryption) and §6.3 HTTP redirection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import PProxClient
+from repro.client.redirect import RedirectedService, RedirectFrontend
+from repro.crypto.keys import KeyFactory
+from repro.crypto.provider import FastCryptoProvider
+from repro.lrs.service import HarnessService
+from repro.privacy import Adversary
+from repro.proxy import PProxConfig, build_pprox
+from repro.proxy.costs import DEFAULT_COSTS
+from repro.proxy.rekey import reencrypt_store
+from repro.simnet.clock import EventLoop
+from repro.simnet.network import Network
+from repro.simnet.rng import RngRegistry
+
+
+def _stack(config=None, seed=81):
+    rng = RngRegistry(seed=seed)
+    loop = EventLoop()
+    network = Network(loop=loop, rng=rng.stream("net"))
+    harness = HarnessService(loop=loop, rng=rng.stream("lrs"), frontend_count=3)
+    harness.engine.trainer.llr_threshold = 0.0
+    provider = FastCryptoProvider(rng_bytes=rng.bytes_fn("crypto"))
+    service = build_pprox(
+        loop, network, rng, config or PProxConfig(shuffle_size=0),
+        lrs_picker=harness.pick_frontend, provider=provider,
+    )
+    client = PProxClient(loop=loop, network=network, provider=provider,
+                         service=service, costs=DEFAULT_COSTS, rng=rng.stream("c"))
+    return rng, loop, network, harness, service, client
+
+
+FEEDBACK = [("a", "i1"), ("a", "i2"), ("b", "i1"), ("b", "i3"), ("c", "i2"), ("c", "i3")]
+
+
+# -- re-encryption ---------------------------------------------------------
+
+
+def _rekey_setup():
+    rng, loop, network, harness, service, client = _stack()
+    for user, item in FEEDBACK:
+        client.post(user, item)
+    loop.run()
+    factory = KeyFactory(rsa_bits=1024, rng_int=rng.int_fn("rot"),
+                         rng_bytes=rng.bytes_fn("rot-b"))
+    return rng, loop, harness, service, client, factory
+
+
+def test_rekey_preserves_event_count_and_structure():
+    _, loop, harness, service, client, factory = _rekey_setup()
+    old_keys = service.provisioner.layer_keys["IA"]
+    before = [(e.user, e.item) for e in harness.engine.store.dump()]
+    new_keys = service.rotate_layer("IA", factory)
+    report = reencrypt_store(
+        harness.engine.store, client.provider, old_keys, new_keys, layer="IA"
+    )
+    after = [(e.user, e.item) for e in harness.engine.store.dump()]
+    assert report.events_processed == len(FEEDBACK)
+    assert report.items_rekeyed == len(FEEDBACK)
+    assert len(after) == len(before)
+    # Users untouched, items re-pseudonymized.
+    assert [u for u, _ in after] == [u for u, _ in before]
+    assert all(a != b for (_, a), (_, b) in zip(after, before))
+
+
+def test_rekey_keeps_the_service_functional():
+    """After rotation + re-encryption, gets still decrypt correctly —
+    the history is preserved (unlike the drop-database response)."""
+    _, loop, harness, service, client, factory = _rekey_setup()
+    old_keys = service.provisioner.layer_keys["IA"]
+    new_keys = service.rotate_layer("IA", factory)
+    reencrypt_store(harness.engine.store, client.provider, old_keys, new_keys, "IA")
+    harness.train()
+    results = []
+    client.get("a", on_complete=results.append)
+    loop.run()
+    assert results[0].ok
+    assert "i3" in results[0].items  # history survived the rotation
+
+
+def test_rekey_ua_layer():
+    _, loop, harness, service, client, factory = _rekey_setup()
+    old_keys = service.provisioner.layer_keys["UA"]
+    before_users = {e.user for e in harness.engine.store.dump()}
+    new_keys = service.rotate_layer("UA", factory)
+    report = reencrypt_store(
+        harness.engine.store, client.provider, old_keys, new_keys, layer="UA"
+    )
+    after_users = {e.user for e in harness.engine.store.dump()}
+    assert report.users_rekeyed == len(FEEDBACK)
+    assert after_users.isdisjoint(before_users)
+    # Pseudonym consistency preserved: same number of distinct users.
+    assert len(after_users) == len(before_users)
+
+
+def test_rekey_defeats_stolen_keys():
+    """The point of the exercise: the adversary's stolen kIA no longer
+    resolves anything in the re-encrypted store."""
+    _, loop, harness, service, client, factory = _rekey_setup()
+    stolen = service.provisioner.layer_keys["IA"]
+    new_keys = service.rotate_layer("IA", factory)
+    reencrypt_store(harness.engine.store, client.provider, stolen, new_keys, "IA")
+    from repro.crypto.envelope import unb64
+
+    for event in harness.engine.store.dump():
+        with pytest.raises(Exception):
+            client.provider.depseudonymize(stolen.symmetric_key, unb64(event.item))
+
+
+def test_rekey_rejects_unknown_layer():
+    _, loop, harness, service, client, factory = _rekey_setup()
+    keys = service.provisioner.layer_keys["IA"]
+    with pytest.raises(ValueError, match="layer"):
+        reencrypt_store(harness.engine.store, client.provider, keys, keys, "XX")
+
+
+# -- HTTP redirection ------------------------------------------------------
+
+
+def _redirected_stack(seed=83):
+    rng, loop, network, harness, service, client = _stack(
+        PProxConfig(shuffle_size=2, shuffle_timeout=0.05), seed=seed
+    )
+    frontend = RedirectFrontend(
+        loop=loop, network=network, rng=rng.stream("relay"),
+        pick_entry=service.ua_balancer.pick,
+    )
+    client.service = RedirectedService(inner=service, frontend=frontend)
+    return rng, loop, network, harness, service, client, frontend
+
+
+def test_redirect_roundtrip_works():
+    _, loop, _, harness, _, client, frontend = _redirected_stack()
+    for user, item in FEEDBACK:
+        client.post(user, item)
+    loop.run()
+    harness.train()
+    results = []
+    client.get("a", on_complete=results.append)
+    loop.run()
+    assert results[0].ok
+    assert "i3" in results[0].items
+    assert frontend.relayed == len(FEEDBACK) + 1
+
+
+def test_redirect_hides_client_addresses_from_the_raas():
+    """The adversary inside the RaaS cloud sees only the application
+    frontend as a source — no per-user IP to anchor history attacks."""
+    _, loop, network, harness, _, client, frontend = _redirected_stack()
+    for user, item in FEEDBACK:
+        client.post(user, item)
+    loop.run()
+    raas_inbound = [
+        f for f in network.flows
+        if f.destination.startswith("pprox-ua") and not f.source.startswith("pprox")
+    ]
+    assert raas_inbound
+    assert {f.source for f in raas_inbound} == {frontend.address}
+    assert not any(f.source.startswith("client") for f in raas_inbound)
+
+
+def test_redirect_adds_latency():
+    """The trade-off §6.3 names: privacy for latency."""
+    _, loop, _, harness, _, client, _ = _redirected_stack()
+    direct_rng, direct_loop, _, direct_harness, _, direct_client = _stack(
+        PProxConfig(shuffle_size=2, shuffle_timeout=0.05), seed=83
+    )
+
+    relayed, direct = [], []
+    client.post("u", "i", on_complete=relayed.append)
+    loop.run()
+    direct_client.post("u", "i", on_complete=direct.append)
+    direct_loop.run()
+    assert relayed[0].latency > direct[0].latency

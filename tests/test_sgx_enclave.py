@@ -1,0 +1,94 @@
+"""Enclave model: sealing, provisioning gates, compromise, rotation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sgx.enclave import Enclave, EnclaveError, EnclaveMeasurement, SealedStore
+
+
+def _enclave(attested: bool = True) -> Enclave:
+    enclave = Enclave(
+        name="e0",
+        measurement=EnclaveMeasurement.of_code("code-v1"),
+        host_node="node-0",
+    )
+    enclave.attested = attested
+    return enclave
+
+
+def test_measurement_is_deterministic():
+    assert EnclaveMeasurement.of_code("x") == EnclaveMeasurement.of_code("x")
+
+
+def test_measurement_distinguishes_code():
+    assert EnclaveMeasurement.of_code("x") != EnclaveMeasurement.of_code("y")
+
+
+def test_provision_requires_attestation():
+    enclave = _enclave(attested=False)
+    with pytest.raises(EnclaveError, match="attested"):
+        enclave.provision({"k": b"secret"})
+
+
+def test_secret_requires_provisioning():
+    enclave = _enclave()
+    with pytest.raises(EnclaveError, match="not provisioned"):
+        enclave.secret("k")
+
+
+def test_secret_roundtrip_and_ecall_count():
+    enclave = _enclave()
+    enclave.provision({"k": b"secret"})
+    assert enclave.secret("k") == b"secret"
+    assert enclave.secret("k") == b"secret"
+    assert enclave.ecall_count == 2
+
+
+def test_missing_secret_raises():
+    enclave = _enclave()
+    enclave.provision({"k": b"secret"})
+    with pytest.raises(EnclaveError, match="no entry"):
+        enclave.secret("other")
+
+
+def test_leak_requires_compromise():
+    enclave = _enclave()
+    enclave.provision({"k": b"secret"})
+    with pytest.raises(EnclaveError, match="not compromised"):
+        enclave.leak_secrets()
+
+
+def test_leak_after_compromise_exposes_all_secrets():
+    enclave = _enclave()
+    enclave.provision({"k1": b"a", "k2": b"b"})
+    enclave.mark_compromised()
+    assert enclave.leak_secrets() == {"k1": b"a", "k2": b"b"}
+
+
+def test_rotation_clears_compromise_and_installs_new_secrets():
+    enclave = _enclave()
+    enclave.provision({"k": b"old"})
+    enclave.mark_compromised()
+    enclave.performance_penalty = 3.0
+    enclave.rotate({"k": b"new"})
+    assert not enclave.compromised
+    assert enclave.performance_penalty == 1.0
+    assert enclave.secret("k") == b"new"
+    with pytest.raises(EnclaveError):
+        enclave.leak_secrets()
+
+
+def test_sealed_store_snapshot_is_a_copy():
+    store = SealedStore()
+    store.put("k", b"v")
+    snapshot = store.snapshot()
+    snapshot["k"] = b"tampered"
+    assert store.get("k") == b"v"
+
+
+def test_sealed_store_wipe():
+    store = SealedStore()
+    store.put("k", b"v")
+    store.wipe()
+    assert not store.contains("k")

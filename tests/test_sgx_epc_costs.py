@@ -1,0 +1,44 @@
+"""EPC paging costs surfacing under routing-table pressure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.proxy.config import PProxConfig
+from repro.proxy.costs import ProxyCostModel
+from repro.sgx.costs import SgxCostModel
+
+
+def test_paging_threshold_is_sharp():
+    model = SgxCostModel(epc_entries=100, transition_seconds=0.001,
+                         epc_paging_seconds=0.002)
+    assert model.request_overhead(100) == pytest.approx(0.001)
+    assert model.request_overhead(101) == pytest.approx(0.003)
+
+
+def test_proxy_legs_charge_paging_under_backlog():
+    """When the pending-request table outgrows the EPC, every leg of
+    an SGX-enabled configuration pays the paging penalty — the §5
+    motivation for keeping the in-enclave key-value store small."""
+    costs = ProxyCostModel(sgx=SgxCostModel(epc_entries=50))
+    config = PProxConfig(shuffle_size=0)
+    small = costs.ia_request_leg(config, pending=10)
+    large = costs.ia_request_leg(config, pending=10_000)
+    assert large > small
+    assert large - small == pytest.approx(costs.sgx.epc_paging_seconds)
+
+
+def test_paging_never_charged_without_sgx():
+    costs = ProxyCostModel(sgx=SgxCostModel(epc_entries=1))
+    config = PProxConfig(shuffle_size=0, sgx=False)
+    assert costs.ua_request_leg(config, pending=10_000) == costs.ua_request_leg(
+        config, pending=0
+    )
+
+
+def test_default_epc_capacity_covers_normal_operation():
+    """At the paper's rated loads the pending table stays far below
+    the default EPC budget, so paging never distorts Figures 6-10."""
+    model = SgxCostModel()
+    # Worst case pending entries ~ RPS x round-trip (1000 x 0.3 s).
+    assert model.epc_entries > 1000 * 0.3

@@ -1,0 +1,93 @@
+"""Load-balancing policies and pool management."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+import pytest
+
+from repro.simnet.loadbalancer import (
+    LeastPendingPolicy,
+    LoadBalancer,
+    RandomPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+
+
+@dataclass
+class FakeBackend:
+    name: str
+    pending: int = 0
+
+
+def test_round_robin_cycles():
+    balancer = LoadBalancer(name="lb", policy=RoundRobinPolicy())
+    backends = [FakeBackend(f"b{i}") for i in range(3)]
+    for backend in backends:
+        balancer.add(backend)
+    picks = [balancer.pick().name for _ in range(6)]
+    assert picks == ["b0", "b1", "b2", "b0", "b1", "b2"]
+
+
+def test_random_policy_covers_all_backends():
+    balancer = LoadBalancer(name="lb", policy=RandomPolicy(rng=random.Random(1)))
+    for index in range(4):
+        balancer.add(FakeBackend(f"b{index}"))
+    counts = Counter(balancer.pick().name for _ in range(400))
+    assert set(counts) == {"b0", "b1", "b2", "b3"}
+    # Roughly uniform: no backend below half the fair share.
+    assert min(counts.values()) > 50
+
+
+def test_least_pending_picks_idlest():
+    balancer = LoadBalancer(name="lb", policy=LeastPendingPolicy())
+    busy = FakeBackend("busy", pending=10)
+    idle = FakeBackend("idle", pending=1)
+    balancer.add(busy)
+    balancer.add(idle)
+    assert balancer.pick() is idle
+
+
+def test_least_pending_tie_breaks_by_order():
+    balancer = LoadBalancer(name="lb", policy=LeastPendingPolicy())
+    first = FakeBackend("first", pending=2)
+    second = FakeBackend("second", pending=2)
+    balancer.add(first)
+    balancer.add(second)
+    assert balancer.pick() is first
+
+
+def test_empty_pool_raises():
+    balancer = LoadBalancer(name="lb", policy=RoundRobinPolicy())
+    with pytest.raises(RuntimeError, match="no backends"):
+        balancer.pick()
+
+
+def test_remove_backend():
+    balancer = LoadBalancer(name="lb", policy=RoundRobinPolicy())
+    backend = FakeBackend("b0")
+    balancer.add(backend)
+    balancer.remove(backend)
+    assert len(balancer) == 0
+
+
+def test_decision_counter():
+    balancer = LoadBalancer(name="lb", policy=RoundRobinPolicy())
+    balancer.add(FakeBackend("b0"))
+    for _ in range(5):
+        balancer.pick()
+    assert balancer.decisions == 5
+
+
+@pytest.mark.parametrize("name", ["random", "round-robin", "least-pending"])
+def test_make_policy_by_name(name):
+    policy = make_policy(name, random.Random(1))
+    assert policy.name == name
+
+
+def test_make_policy_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown"):
+        make_policy("weighted", random.Random(1))

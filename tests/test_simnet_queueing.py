@@ -1,0 +1,82 @@
+"""Concurrent work queue: FIFO handoff between server and workers."""
+
+from __future__ import annotations
+
+from repro.simnet.queueing import ConcurrentQueue
+
+
+def test_push_then_consume():
+    queue = ConcurrentQueue()
+    got = []
+    queue.push("a")
+    queue.request_item(got.append)
+    assert got == ["a"]
+
+
+def test_consumer_waits_for_item():
+    queue = ConcurrentQueue()
+    got = []
+    queue.request_item(got.append)
+    assert got == []
+    assert queue.idle_consumers == 1
+    queue.push("late")
+    assert got == ["late"]
+    assert queue.idle_consumers == 0
+
+
+def test_fifo_across_items():
+    queue = ConcurrentQueue()
+    got = []
+    queue.push_all(["a", "b", "c"])
+    for _ in range(3):
+        queue.request_item(got.append)
+    assert got == ["a", "b", "c"]
+
+
+def test_fifo_across_consumers():
+    queue = ConcurrentQueue()
+    got = []
+    queue.request_item(lambda item: got.append(("first", item)))
+    queue.request_item(lambda item: got.append(("second", item)))
+    queue.push("x")
+    queue.push("y")
+    assert got == [("first", "x"), ("second", "y")]
+
+
+def test_depth_and_counters():
+    queue = ConcurrentQueue()
+    queue.push_all([1, 2, 3])
+    assert queue.depth == 3
+    assert queue.enqueued == 3
+    assert queue.max_depth == 3
+    queue.request_item(lambda _: None)
+    assert queue.depth == 2
+
+
+def test_rng_registry_streams_are_independent():
+    from repro.simnet.rng import RngRegistry
+
+    registry = RngRegistry(seed=1)
+    a1 = registry.stream("a").random()
+    # Drawing from stream b must not perturb stream a's continuation.
+    registry.stream("b").random()
+    registry2 = RngRegistry(seed=1)
+    b1 = registry2.stream("a").random()
+    registry2.stream("a").random()  # second draw from a
+    assert a1 == b1
+
+
+def test_rng_registry_is_seed_deterministic():
+    from repro.simnet.rng import RngRegistry
+
+    one = RngRegistry(seed=42).stream("x").random()
+    two = RngRegistry(seed=42).stream("x").random()
+    assert one == two
+
+
+def test_rng_registry_bytes_and_int_functions():
+    from repro.simnet.rng import RngRegistry
+
+    registry = RngRegistry(seed=3)
+    assert len(registry.bytes_fn("b")(16)) == 16
+    assert 0 <= registry.int_fn("i")(10) < 10

@@ -1,0 +1,89 @@
+"""Latency-breakdown probe: stage accounting from wire events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import PProxClient
+from repro.crypto.provider import FastCryptoProvider
+from repro.lrs.stub import StubLrs, make_pseudonymous_payload
+from repro.proxy import PProxConfig, build_pprox
+from repro.proxy.costs import DEFAULT_COSTS
+from repro.simnet.clock import EventLoop
+from repro.simnet.network import Network
+from repro.simnet.rng import RngRegistry
+from repro.simnet.tracing import STAGES, BreakdownProbe
+
+
+def _traced_stack(config: PProxConfig, seed=91):
+    rng = RngRegistry(seed=seed)
+    loop = EventLoop()
+    network = Network(loop=loop, rng=rng.stream("net"), record_flows=False)
+    stub = StubLrs(loop=loop, rng=rng.stream("stub"))
+    provider = FastCryptoProvider(rng_bytes=rng.bytes_fn("crypto"))
+    service = build_pprox(loop, network, rng, config, lrs_picker=lambda: stub,
+                          provider=provider)
+    if config.encryption and config.item_pseudonymization:
+        stub.items = make_pseudonymous_payload(
+            provider, service.provisioner.layer_keys["IA"].symmetric_key
+        )
+    probe = BreakdownProbe()
+    probe.attach(network)
+    client = PProxClient(loop=loop, network=network, provider=provider,
+                         service=service, costs=DEFAULT_COSTS, rng=rng.stream("c"))
+    return loop, client, probe
+
+
+def test_probe_collects_complete_traces():
+    loop, client, probe = _traced_stack(PProxConfig(shuffle_size=0))
+    for index in range(5):
+        client.get(f"user-{index}")
+    loop.run()
+    traces = probe.complete_traces()
+    assert len(traces) == 5
+    for durations in traces:
+        assert set(durations) == set(STAGES)
+        assert all(value >= 0 for value in durations.values())
+
+
+def test_stage_sum_is_close_to_total_latency():
+    loop, client, probe = _traced_stack(PProxConfig(shuffle_size=0))
+    calls = []
+    client.get("user", on_complete=calls.append)
+    loop.run()
+    durations = probe.complete_traces()[0]
+    stage_sum = sum(durations.values())
+    # Stage sum excludes only the first/last network hop + client work.
+    assert stage_sum <= calls[0].latency
+    assert stage_sum > 0.5 * calls[0].latency
+
+
+def test_shuffle_buffers_show_in_the_right_stages():
+    """A lone request under S=4 waits on both shuffle timers: the
+    ua_inbound and ia_outbound stages absorb ~one timeout each."""
+    loop, client, probe = _traced_stack(
+        PProxConfig(shuffle_size=4, shuffle_timeout=0.2)
+    )
+    client.get("solo")
+    loop.run()
+    durations = probe.complete_traces()[0]
+    assert durations["ua_inbound"] >= 0.2
+    assert durations["ia_outbound"] >= 0.2
+    assert durations["ia_inbound"] < 0.05
+    assert durations["ua_outbound"] < 0.05
+
+
+def test_aggregate_and_render():
+    loop, client, probe = _traced_stack(PProxConfig(shuffle_size=0))
+    for index in range(10):
+        client.get(f"user-{index}")
+    loop.run()
+    aggregated = probe.aggregate()
+    assert set(aggregated) == set(STAGES)
+    text = probe.render()
+    assert "ua_inbound" in text and "total" in text
+
+
+def test_aggregate_without_traces_raises():
+    with pytest.raises(ValueError, match="no complete traces"):
+        BreakdownProbe().aggregate()
