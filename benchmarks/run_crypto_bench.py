@@ -1,0 +1,129 @@
+"""Emit ``BENCH_crypto.json``: optimized-vs-seed crypto speedups.
+
+Measures the symmetric hot path rebuilt in the crypto overhaul PR
+against the straight-line seed implementation preserved in
+:mod:`repro.crypto.reference`, and writes the results to
+``BENCH_crypto.json`` at the repository root.  Future PRs touching the
+crypto stack should re-run this script and must not regress the
+recorded speedups::
+
+    PYTHONPATH=src python benchmarks/run_crypto_bench.py
+
+Acceptance floors from the overhaul PR: >= 5x on
+``RealCryptoProvider.pseudonymize`` (hot ids) and >= 3x on
+``ctr_transform`` over 1 KiB payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+import timeit
+
+from repro.crypto import ctr
+from repro.crypto.aes import AES
+from repro.crypto.provider import RealCryptoProvider
+from repro.crypto.reference import (
+    ReferenceAES,
+    reference_ctr_transform,
+    reference_det_encrypt,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+OUTPUT = REPO_ROOT / "BENCH_crypto.json"
+
+KEY = bytes(range(32))
+IV = bytes(16)
+BLOCK = bytes(range(16))
+PAYLOAD_1K = bytes(i % 256 for i in range(1024))
+HOT_IDS = [b"user-%011d" % i for i in range(64)]
+
+
+def _best_us(fn, number: int, repeat: int = 5) -> float:
+    """Best-of-*repeat* mean microseconds per call of *fn*."""
+    timer = timeit.Timer(fn)
+    return min(timer.repeat(repeat=repeat, number=number)) / number * 1e6
+
+
+def _measure() -> dict:
+    cipher = AES(KEY)
+    reference_cipher = ReferenceAES(KEY)
+
+    provider = RealCryptoProvider()
+    for identifier in HOT_IDS:  # steady state: memo + keystream warm
+        provider.pseudonymize(KEY, identifier)
+
+    def pseudonymize_hot():
+        for identifier in HOT_IDS:
+            provider.pseudonymize(KEY, identifier)
+
+    def reference_pseudonymize_hot():
+        for identifier in HOT_IDS:
+            reference_det_encrypt(KEY, identifier)
+
+    cases = {
+        "block_encrypt": (
+            lambda: cipher.encrypt_block(BLOCK),
+            lambda: reference_cipher.encrypt_block(BLOCK),
+            2000,
+        ),
+        "ctr_transform_1KiB": (
+            lambda: ctr.ctr_transform(KEY, IV, PAYLOAD_1K),
+            lambda: reference_ctr_transform(KEY, IV, PAYLOAD_1K),
+            50,
+        ),
+        "det_encrypt_32B": (
+            lambda: ctr.det_encrypt(KEY, b"user-0000000000000000000042!!!!!"),
+            lambda: reference_det_encrypt(KEY, b"user-0000000000000000000042!!!!!"),
+            2000,
+        ),
+        "real_provider_pseudonymize_hot64": (
+            pseudonymize_hot,
+            reference_pseudonymize_hot,
+            20,
+        ),
+    }
+
+    results = {}
+    for name, (optimized, reference, number) in cases.items():
+        optimized_us = _best_us(optimized, number)
+        reference_us = _best_us(reference, max(number // 10, 5))
+        results[name] = {
+            "optimized_us": round(optimized_us, 3),
+            "reference_us": round(reference_us, 3),
+            "speedup": round(reference_us / optimized_us, 2),
+        }
+    return results
+
+
+def main() -> int:
+    results = _measure()
+    report = {
+        "benchmark": "crypto hot path, optimized vs seed reference",
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "units": "microseconds per call (best of 5 timeit repeats)",
+        "results": results,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    for name, entry in results.items():
+        print(f"{name:36s} {entry['optimized_us']:>12.1f} us"
+              f"  (seed {entry['reference_us']:>12.1f} us, {entry['speedup']:.1f}x)")
+    print(f"\nwrote {OUTPUT}")
+    floors = {"real_provider_pseudonymize_hot64": 5.0, "ctr_transform_1KiB": 3.0}
+    failed = [
+        f"{name}: {results[name]['speedup']}x < {floor}x"
+        for name, floor in floors.items()
+        if results[name]["speedup"] < floor
+    ]
+    if failed:
+        print("SPEEDUP FLOOR VIOLATED: " + "; ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

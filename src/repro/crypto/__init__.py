@@ -10,12 +10,16 @@ Everything the protocol in the paper needs, built from scratch:
 * :mod:`repro.crypto.envelope` — fixed-size identifier encoding and
   padded recommendation lists (§4.3), base64/JSON helpers.
 * :mod:`repro.crypto.provider` — the provider interface with a
-  faithful ``real`` implementation and a cheaper ``fast`` one for
-  large simulations.
+  faithful ``real`` implementation and cheaper ``fast``/``sim`` ones
+  for large simulations.
+* :mod:`repro.crypto.xor` — the whole-buffer XOR primitive shared by
+  every symmetric hot path.
+* :mod:`repro.crypto.reference` — the seed's straight-line AES/CTR,
+  kept as the byte-identical correctness anchor and perf baseline.
 """
 
 from repro.crypto.aes import AES, BLOCK_SIZE
-from repro.crypto.ctr import det_decrypt, det_encrypt, rand_decrypt, rand_encrypt
+from repro.crypto.ctr import det_decrypt, det_encrypt, keyed_pseudonym, rand_decrypt, rand_encrypt
 from repro.crypto.envelope import (
     FIXED_ID_BYTES,
     MAX_RECOMMENDATIONS,
@@ -26,16 +30,24 @@ from repro.crypto.envelope import (
     strip_padding_items,
 )
 from repro.crypto.keys import KeyFactory, LayerKeys, LayerPublicMaterial, SYMMETRIC_KEY_BYTES
-from repro.crypto.provider import CryptoProvider, FastCryptoProvider, RealCryptoProvider
+from repro.crypto.provider import (
+    CryptoProvider,
+    FastCryptoProvider,
+    RealCryptoProvider,
+    SimCryptoProvider,
+)
 from repro.crypto.rsa import OaepError, RsaPrivateKey, RsaPublicKey, generate_keypair
+from repro.crypto.xor import xor_bytes
 
 __all__ = [
     "AES",
     "BLOCK_SIZE",
     "det_encrypt",
     "det_decrypt",
+    "keyed_pseudonym",
     "rand_encrypt",
     "rand_decrypt",
+    "xor_bytes",
     "FIXED_ID_BYTES",
     "MAX_RECOMMENDATIONS",
     "PaddingError",
@@ -50,6 +62,7 @@ __all__ = [
     "CryptoProvider",
     "RealCryptoProvider",
     "FastCryptoProvider",
+    "SimCryptoProvider",
     "OaepError",
     "RsaPublicKey",
     "RsaPrivateKey",

@@ -10,6 +10,14 @@ Two flavours, exactly as in the paper (§4.1, §5):
   with a fresh random IV prepended to the ciphertext.  Used for the
   recommendation list returned under the per-request temporary key
   ``k_u`` and for the public-key hybrid envelopes.
+
+Hot-path structure: keystream blocks are generated in one batched call
+(:meth:`repro.crypto.aes.AES.encrypt_ctr_blocks`) and XORed against
+the payload with a single whole-buffer integer XOR.  Because the
+deterministic mode uses a constant IV, its keystream for a given key
+is *fixed* — a per-key prefix is cached, so steady-state
+pseudonymization of a ≤32-byte identifier is one slice + one XOR with
+no AES calls at all.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ import os
 from typing import Callable, Optional
 
 from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.xor import xor_bytes
 
 __all__ = [
     "ctr_transform",
@@ -26,6 +35,7 @@ __all__ = [
     "det_decrypt",
     "rand_encrypt",
     "rand_decrypt",
+    "keyed_pseudonym",
     "DETERMINISTIC_IV",
 ]
 
@@ -38,16 +48,48 @@ DETERMINISTIC_IV = bytes(BLOCK_SIZE)
 _CIPHER_CACHE: dict = {}
 _CIPHER_CACHE_MAX = 256
 
+# Constant-IV keystreams are fixed per key; cache a prefix long enough
+# for identifiers and typical short payloads (32 blocks = 512 bytes).
+_DET_KEYSTREAM_CACHE: dict = {}
+_DET_KEYSTREAM_CACHE_MAX = 256
+_DET_KEYSTREAM_PREFIX_BLOCKS = 32
+
+
+def _evict_oldest(cache: dict, maxsize: int) -> None:
+    """Drop the oldest entries until *cache* has room for one more.
+
+    Dicts are insertion-ordered, so the first key is the oldest; a
+    wholesale ``clear()`` here would re-expand all hot key schedules.
+    """
+    while len(cache) >= maxsize:
+        del cache[next(iter(cache))]
+
 
 def _cipher_for(key: bytes) -> AES:
     """Return a cached :class:`AES` instance for *key*."""
     cipher = _CIPHER_CACHE.get(key)
     if cipher is None:
-        if len(_CIPHER_CACHE) >= _CIPHER_CACHE_MAX:
-            _CIPHER_CACHE.clear()
+        _evict_oldest(_CIPHER_CACHE, _CIPHER_CACHE_MAX)
         cipher = AES(key)
         _CIPHER_CACHE[key] = cipher
     return cipher
+
+
+def _det_keystream(key: bytes, length: int) -> bytes:
+    """Constant-IV keystream for *key*, at least *length* bytes long."""
+    stream = _DET_KEYSTREAM_CACHE.get(key)
+    if stream is None or len(stream) < length:
+        blocks = max(
+            _DET_KEYSTREAM_PREFIX_BLOCKS,
+            (length + BLOCK_SIZE - 1) // BLOCK_SIZE,
+        )
+        initial = int.from_bytes(DETERMINISTIC_IV, "big")
+        fresh = _cipher_for(key).encrypt_ctr_blocks(initial, blocks)
+        if stream is None:
+            _evict_oldest(_DET_KEYSTREAM_CACHE, _DET_KEYSTREAM_CACHE_MAX)
+        _DET_KEYSTREAM_CACHE[key] = fresh
+        return fresh
+    return stream
 
 
 def ctr_transform(key: bytes, iv: bytes, data: bytes) -> bytes:
@@ -58,17 +100,12 @@ def ctr_transform(key: bytes, iv: bytes, data: bytes) -> bytes:
     """
     if len(iv) != BLOCK_SIZE:
         raise ValueError(f"CTR IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    if not data:
+        return b""
     cipher = _cipher_for(key)
-    counter = int.from_bytes(iv, "big")
-    out = bytearray()
-    for offset in range(0, len(data), BLOCK_SIZE):
-        keystream = cipher.encrypt_block(
-            (counter & ((1 << 128) - 1)).to_bytes(BLOCK_SIZE, "big")
-        )
-        chunk = data[offset:offset + BLOCK_SIZE]
-        out.extend(a ^ b for a, b in zip(chunk, keystream))
-        counter += 1
-    return bytes(out)
+    blocks = (len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE
+    keystream = cipher.encrypt_ctr_blocks(int.from_bytes(iv, "big"), blocks)
+    return xor_bytes(data, keystream)
 
 
 def det_encrypt(key: bytes, plaintext: bytes) -> bytes:
@@ -76,14 +113,19 @@ def det_encrypt(key: bytes, plaintext: bytes) -> bytes:
 
     Two calls with the same key and plaintext produce the same
     ciphertext — this is what makes pseudonymous identifiers stable
-    across requests (paper §4.1).
+    across requests (paper §4.1).  The constant-IV keystream is cached
+    per key, so repeat calls cost one slice and one integer XOR.
     """
-    return ctr_transform(key, DETERMINISTIC_IV, plaintext)
+    if not plaintext:
+        return b""
+    return xor_bytes(plaintext, _det_keystream(key, len(plaintext)))
 
 
 def det_decrypt(key: bytes, ciphertext: bytes) -> bytes:
     """Invert :func:`det_encrypt`."""
-    return ctr_transform(key, DETERMINISTIC_IV, ciphertext)
+    if not ciphertext:
+        return b""
+    return xor_bytes(ciphertext, _det_keystream(key, len(ciphertext)))
 
 
 def rand_encrypt(key: bytes, plaintext: bytes, rng: Optional[Callable[[int], bytes]] = None) -> bytes:

@@ -1,18 +1,23 @@
 """Crypto provider interface used by the user-side library and proxies.
 
-Two interchangeable implementations:
+Three interchangeable implementations:
 
 * :class:`RealCryptoProvider` — the paper's construction: RSA-OAEP for
   layer-addressed fields, AES-256-CTR with a constant IV for
   deterministic pseudonymization, AES-256-CTR with a random IV for the
-  temporary-key protection of recommendation lists.
+  temporary-key protection of recommendation lists.  Ships a bounded
+  LRU memo for pseudonym operations (hot user/item ids repeat heavily
+  under the MovieLens workload) with hit/miss counters the metrics
+  layer can sample.
 * :class:`FastCryptoProvider` — functionally equivalent but built on
   SHA-256 primitives (Feistel permutation for deterministic
   pseudonyms, hash-keystream XOR for randomized symmetric encryption).
   RSA is kept for the asymmetric half.  Used for very large
   simulations where pure-Python AES would dominate run time.
+* :class:`SimCryptoProvider` — keyed-BLAKE2 stand-in for the largest
+  simulations; see its docstring for the caveats.
 
-Both are *real* transformations — ciphertexts are actually unreadable
+All are *real* transformations — ciphertexts are actually unreadable
 without the key — so the privacy test-suite exercises genuine data
 flow, not tags.
 """
@@ -23,11 +28,12 @@ import hashlib
 import hmac
 import os
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Dict, Sequence, List
 
 from repro.crypto import ctr
 from repro.crypto.keys import SYMMETRIC_KEY_BYTES, LayerKeys, LayerPublicMaterial
 from repro.crypto.rsa import RsaPublicKey
+from repro.crypto.xor import xor_bytes
 
 __all__ = [
     "CryptoProvider",
@@ -59,6 +65,16 @@ class CryptoProvider:
         """Invert :meth:`pseudonymize`."""
         raise NotImplementedError
 
+    def pseudonymize_many(self, key: bytes, identifiers: Sequence[bytes]) -> List[bytes]:
+        """Batched :meth:`pseudonymize` (providers may override)."""
+        pseudonymize = self.pseudonymize
+        return [pseudonymize(key, identifier) for identifier in identifiers]
+
+    def depseudonymize_many(self, key: bytes, pseudonyms: Sequence[bytes]) -> List[bytes]:
+        """Batched :meth:`depseudonymize` (providers may override)."""
+        depseudonymize = self.depseudonymize
+        return [depseudonymize(key, pseudonym) for pseudonym in pseudonyms]
+
     def sym_encrypt(self, key: bytes, plaintext: bytes) -> bytes:
         """Randomized symmetric encryption (temporary-key payloads)."""
         raise NotImplementedError
@@ -72,13 +88,64 @@ class CryptoProvider:
         return os.urandom(SYMMETRIC_KEY_BYTES)
 
 
+class _LruMemo:
+    """Bounded insertion-ordered memo with hit/miss counters.
+
+    Plain dict (insertion-ordered) with move-to-back on hit and
+    evict-front on overflow; a ``maxsize`` of 0 disables caching.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_data")
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: dict = {}
+
+    def get(self, key):
+        value = self._data.pop(key, None)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data[key] = value  # re-insert: most recently used at back
+        return value
+
+    def put(self, key, value) -> None:
+        if self.maxsize <= 0:
+            return
+        data = self._data
+        if key not in data and len(data) >= self.maxsize:
+            del data[next(iter(data))]
+        data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the metrics layer."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
+
+
 @dataclass
 class RealCryptoProvider(CryptoProvider):
     """The paper's construction: RSA-OAEP + AES-256-CTR."""
 
     rng_bytes: Callable[[int], bytes] = field(default=os.urandom)
+    #: Entries per direction of the pseudonym memo; 0 disables it.
+    pseudonym_cache_size: int = 4096
 
     name = "real"
+
+    def __post_init__(self) -> None:
+        self._pseudonym_memo = _LruMemo(self.pseudonym_cache_size)
+        self._depseudonym_memo = _LruMemo(self.pseudonym_cache_size)
 
     def asym_encrypt(self, public: LayerPublicMaterial, plaintext: bytes) -> bytes:
         key: RsaPublicKey = public.public_key
@@ -105,10 +172,32 @@ class RealCryptoProvider(CryptoProvider):
         raise ValueError(f"unknown asymmetric envelope kind {kind}")
 
     def pseudonymize(self, key: bytes, identifier: bytes) -> bytes:
-        return ctr.det_encrypt(key, identifier)
+        memo_key = (key, identifier)
+        pseudonym = self._pseudonym_memo.get(memo_key)
+        if pseudonym is None:
+            pseudonym = ctr.det_encrypt(key, identifier)
+            self._pseudonym_memo.put(memo_key, pseudonym)
+            # Deterministic encryption is invertible, so seed the
+            # reverse direction too: the IA de-pseudonymizes the very
+            # ids it pseudonymized on the request path.
+            self._depseudonym_memo.put((key, pseudonym), identifier)
+        return pseudonym
 
     def depseudonymize(self, key: bytes, pseudonym: bytes) -> bytes:
-        return ctr.det_decrypt(key, pseudonym)
+        memo_key = (key, pseudonym)
+        identifier = self._depseudonym_memo.get(memo_key)
+        if identifier is None:
+            identifier = ctr.det_decrypt(key, pseudonym)
+            self._depseudonym_memo.put(memo_key, identifier)
+            self._pseudonym_memo.put((key, identifier), pseudonym)
+        return identifier
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Pseudonym-memo hit/miss counters for the metrics layer."""
+        return {
+            "pseudonymize": self._pseudonym_memo.stats(),
+            "depseudonymize": self._depseudonym_memo.stats(),
+        }
 
     def sym_encrypt(self, key: bytes, plaintext: bytes) -> bytes:
         return ctr.rand_encrypt(key, plaintext, self.rng_bytes)
@@ -122,12 +211,13 @@ class RealCryptoProvider(CryptoProvider):
 
 def _hash_keystream(key: bytes, iv: bytes, length: int) -> bytes:
     """SHA-256-based keystream: H(key || iv || counter) blocks."""
-    out = bytearray()
-    counter = 0
-    while len(out) < length:
-        out.extend(hashlib.sha256(key + iv + counter.to_bytes(4, "big")).digest())
-        counter += 1
-    return bytes(out[:length])
+    sha256 = hashlib.sha256
+    prefix = key + iv
+    parts = [
+        sha256(prefix + counter.to_bytes(4, "big")).digest()
+        for counter in range((length + 31) // 32)
+    ]
+    return b"".join(parts)[:length]
 
 
 def _feistel_round_key(key: bytes, round_index: int) -> bytes:
@@ -150,9 +240,7 @@ def _feistel(key: bytes, block: bytes, rounds: range) -> bytes:
         digest = hmac.new(round_key, right, "sha256").digest()
         while len(digest) < half:
             digest += hmac.new(round_key, digest, "sha256").digest()
-        new_left = right
-        new_right = bytes(a ^ b for a, b in zip(left, digest[:half]))
-        left, right = new_left, new_right
+        left, right = right, xor_bytes(left, digest)
     return left + right
 
 
@@ -172,9 +260,7 @@ class FastCryptoProvider(CryptoProvider):
         session_key = self.rng_bytes(SYMMETRIC_KEY_BYTES)
         header = key.encrypt(session_key, self.rng_bytes)
         iv = self.rng_bytes(16)
-        body = iv + bytes(
-            a ^ b for a, b in zip(plaintext, _hash_keystream(session_key, iv, len(plaintext)))
-        )
+        body = iv + xor_bytes(plaintext, _hash_keystream(session_key, iv, len(plaintext)))
         return header + body
 
     def asym_decrypt(self, keys: LayerKeys, blob: bytes) -> bytes:
@@ -184,7 +270,7 @@ class FastCryptoProvider(CryptoProvider):
         session_key = keys.private_key.decrypt(blob[:modulus_bytes])
         iv = blob[modulus_bytes:modulus_bytes + 16]
         body = blob[modulus_bytes + 16:]
-        return bytes(a ^ b for a, b in zip(body, _hash_keystream(session_key, iv, len(body))))
+        return xor_bytes(body, _hash_keystream(session_key, iv, len(body)))
 
     def pseudonymize(self, key: bytes, identifier: bytes) -> bytes:
         # Pad odd-length input with an explicit marker byte pair.
@@ -207,15 +293,13 @@ class FastCryptoProvider(CryptoProvider):
 
     def sym_encrypt(self, key: bytes, plaintext: bytes) -> bytes:
         iv = self.rng_bytes(16)
-        return iv + bytes(
-            a ^ b for a, b in zip(plaintext, _hash_keystream(key, iv, len(plaintext)))
-        )
+        return iv + xor_bytes(plaintext, _hash_keystream(key, iv, len(plaintext)))
 
     def sym_decrypt(self, key: bytes, blob: bytes) -> bytes:
         if len(blob) < 16:
             raise ValueError("symmetric ciphertext too short")
         iv, body = blob[:16], blob[16:]
-        return bytes(a ^ b for a, b in zip(body, _hash_keystream(key, iv, len(body))))
+        return xor_bytes(body, _hash_keystream(key, iv, len(body)))
 
     def new_temporary_key(self) -> bytes:
         return self.rng_bytes(SYMMETRIC_KEY_BYTES)
@@ -279,15 +363,13 @@ class SimCryptoProvider(CryptoProvider):
 
     def sym_encrypt(self, key: bytes, plaintext: bytes) -> bytes:
         iv = self.rng_bytes(16)
-        stream = _blake_keystream(key, iv, len(plaintext))
-        return iv + bytes(a ^ b for a, b in zip(plaintext, stream))
+        return iv + xor_bytes(plaintext, _blake_keystream(key, iv, len(plaintext)))
 
     def sym_decrypt(self, key: bytes, blob: bytes) -> bytes:
         if len(blob) < 16:
             raise ValueError("symmetric ciphertext too short")
         iv, body = blob[:16], blob[16:]
-        stream = _blake_keystream(key, iv, len(body))
-        return bytes(a ^ b for a, b in zip(body, stream))
+        return xor_bytes(body, _blake_keystream(key, iv, len(body)))
 
     def new_temporary_key(self) -> bytes:
         return self.rng_bytes(SYMMETRIC_KEY_BYTES)
@@ -295,11 +377,10 @@ class SimCryptoProvider(CryptoProvider):
 
 def _blake_keystream(key: bytes, iv: bytes, length: int) -> bytes:
     """Keyed-BLAKE2 keystream (fast path for the sim provider)."""
-    out = bytearray()
-    counter = 0
-    while len(out) < length:
-        out.extend(
-            hashlib.blake2s(iv + counter.to_bytes(4, "big"), key=key[:32]).digest()
-        )
-        counter += 1
-    return bytes(out[:length])
+    blake2s = hashlib.blake2s
+    short_key = key[:32]
+    parts = [
+        blake2s(iv + counter.to_bytes(4, "big"), key=short_key).digest()
+        for counter in range((length + 31) // 32)
+    ]
+    return b"".join(parts)[:length]

@@ -337,9 +337,13 @@ def ia_transform_response(
         return response
     raw_items = response.fields.get("items", [])
     if config.item_pseudonymization:
+        # One batched provider call for the whole 20-entry list: lets
+        # providers amortize per-call overhead and hit the pseudonym
+        # memo in a tight loop.
+        pseudonyms = [unb64(item) for item in raw_items]
         cleartext = [
-            decode_identifier(provider.depseudonymize(keys.symmetric_key, unb64(item)))
-            for item in raw_items
+            decode_identifier(identifier)
+            for identifier in provider.depseudonymize_many(keys.symmetric_key, pseudonyms)
         ]
     else:
         cleartext = list(raw_items)

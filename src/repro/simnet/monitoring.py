@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.simnet.clock import EventLoop
 
-__all__ = ["MetricsCollector", "TimeSeries", "node_gauges"]
+__all__ = ["MetricsCollector", "TimeSeries", "node_gauges", "crypto_cache_gauges"]
 
 
 @dataclass
@@ -111,3 +111,22 @@ def node_gauges(collector: MetricsCollector, node, prefix: Optional[str] = None)
     collector.register(f"{label}.queue_length", lambda: node.queue_length)
     collector.register(f"{label}.busy_cores", lambda: node.busy_cores)
     collector.register(f"{label}.utilization", lambda: node.utilization())
+
+
+def crypto_cache_gauges(collector: MetricsCollector, provider, prefix: str = "crypto") -> None:
+    """Register pseudonym-memo hit/miss gauges for a crypto provider.
+
+    Providers without a ``cache_stats()`` method (the fast/sim tiers)
+    are silently skipped, so callers can register whatever provider the
+    experiment configuration selected.
+    """
+    if not callable(getattr(provider, "cache_stats", None)):
+        return
+    for operation in ("pseudonymize", "depseudonymize"):
+        for counter in ("hits", "misses", "size"):
+            collector.register(
+                f"{prefix}.{operation}.{counter}",
+                lambda operation=operation, counter=counter: float(
+                    provider.cache_stats()[operation][counter]
+                ),
+            )
