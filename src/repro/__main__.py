@@ -2,10 +2,12 @@
 
 Subcommands:
 
-* ``info``        — package overview and the experiment index;
-* ``reproduce``   — regenerate tables/figures (wraps the example CLI);
-* ``demo``        — run the quickstart scenario;
-* ``validate``    — check the experiment index against the tree.
+* ``info``            — package overview and the experiment index;
+* ``reproduce``       — regenerate tables/figures (wraps the example CLI);
+* ``demo``            — run the quickstart scenario;
+* ``validate``        — check the experiment index against the tree;
+* ``telemetry-smoke`` — short end-to-end run with full telemetry,
+  writes the per-run artifact and self-checks traces + redaction.
 """
 
 from __future__ import annotations
@@ -61,6 +63,86 @@ def _cmd_validate(_args) -> int:
     return 0
 
 
+def _cmd_telemetry_smoke(args) -> int:
+    """Short micro run with full telemetry; self-checks the artifact.
+
+    Exercises the acceptance criteria of the telemetry layer: every
+    completed request yields a complete five-stage trace, span-derived
+    stage durations match the wire-level BreakdownProbe, the JSONL
+    artifact round-trips, and the redaction audit is clean.
+    """
+    from repro.cluster.deployments import MICRO_CONFIGS
+    from repro.experiments.runner import run_micro
+    from repro.experiments.report import render_telemetry
+    from repro.simnet.tracing import STAGES, BreakdownProbe
+    from repro.telemetry import EventLog, Telemetry, audit_events
+
+    telemetry = Telemetry(scrape_interval=1.0)
+    probe = BreakdownProbe()
+    config = MICRO_CONFIGS[args.config]
+    result = run_micro(
+        config, args.rps, seed=args.seed, runs=1,
+        duration=args.duration, trim=2.0,
+        telemetry=telemetry, probe=probe,
+    )
+    completed = sum(report.completed for report in result.reports)
+    print(render_telemetry(telemetry))
+    print()
+
+    failures = []
+    traces = telemetry.tracer.complete_traces()
+    if not traces:
+        failures.append("no complete traces collected")
+    elif len(traces) < completed:
+        failures.append(
+            f"only {len(traces)} complete traces for {completed} completed requests"
+        )
+    for trace in traces:
+        missing = [stage for stage in STAGES if stage not in trace.stages]
+        if missing:
+            failures.append(f"trace {trace.trace_id} missing stages: {missing}")
+            break
+
+    span_values = telemetry.tracer.stage_values()
+    probe_values = probe.stage_values()
+    for stage in STAGES:
+        spans = sorted(span_values.get(stage, []))
+        wire = sorted(probe_values.get(stage, []))
+        if len(spans) != len(wire):
+            failures.append(
+                f"stage {stage}: {len(spans)} span durations vs {len(wire)} wire durations"
+            )
+            continue
+        drift = max(
+            (abs(a - b) for a, b in zip(spans, wire)), default=0.0
+        )
+        if drift > 1e-9:
+            failures.append(f"stage {stage}: span/wire drift {drift:.3e}s")
+
+    paths = telemetry.write_artifact(args.telemetry_dir)
+    with open(paths["events"], "r", encoding="utf-8") as handle:
+        records = EventLog.parse_jsonl(handle.read())
+    if not records:
+        failures.append("telemetry artifact has no events")
+    leaks = audit_events(records)
+    if leaks:
+        failures.append(f"redaction audit found {len(leaks)} leak(s) in artifact")
+        for violation in leaks[:10]:
+            print(f"  LEAK: {violation.describe()}")
+
+    print(f"artifact: {paths['events']} ({len(records)} events)")
+    print(f"artifact: {paths['metrics']}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"telemetry smoke OK: {len(traces)} complete traces,"
+        f" {completed} completed requests, artifact parses, audit clean"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -73,6 +155,17 @@ def main(argv=None) -> int:
     subparsers.add_parser("validate", help="check the experiment index").set_defaults(
         fn=_cmd_validate
     )
+    smoke = subparsers.add_parser(
+        "telemetry-smoke", help="short e2e run with telemetry self-checks"
+    )
+    smoke.add_argument("--telemetry-dir", default="results/telemetry-smoke",
+                       help="directory for the telemetry.jsonl/.prom artifact")
+    smoke.add_argument("--config", default="m6", choices=("m1", "m2", "m3", "m4", "m5", "m6"),
+                       help="micro configuration to run (default: m6, full pipeline)")
+    smoke.add_argument("--rps", type=float, default=40.0)
+    smoke.add_argument("--duration", type=float, default=8.0)
+    smoke.add_argument("--seed", type=int, default=7)
+    smoke.set_defaults(fn=_cmd_telemetry_smoke)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -70,6 +70,9 @@ class PProxClient:
     #: failure.  Retried posts are at-least-once: a retry racing a slow
     #: original can insert duplicate feedback, which CCO deduplicates.
     max_retries: int = 0
+    #: Optional :class:`repro.telemetry.Telemetry` hub.  The client is
+    #: where traces begin (t0 hop) and end (settle).
+    telemetry: Optional[object] = None
     calls_started: int = 0
     calls_completed: int = 0
     retries_performed: int = 0
@@ -129,6 +132,9 @@ class PProxClient:
     ) -> None:
         started_at = self.loop.now
         self.calls_started += 1
+        telemetry = self.telemetry
+        if address not in self.network.roles:
+            self.network.register_role(address, "client")
         encrypt_delay = self.costs.client_encrypt_seconds(self.config)
         call_state = {"settled": False, "attempt": 0}
 
@@ -137,6 +143,8 @@ class PProxClient:
                 return
             call_state["settled"] = True
             self.calls_completed += 1
+            if telemetry is not None:
+                telemetry.tracer.end_trace(request_id, ok)
             if on_complete is not None:
                 on_complete(
                     CompletedCall(
@@ -167,6 +175,9 @@ class PProxClient:
                 settle(response.ok, items, attempt_request.request_id)
 
             def reply_to_client(response: Response) -> None:
+                if telemetry is not None:
+                    # Same virtual instant as the ua->client wire record.
+                    telemetry.tracer.record_hop(response.request_id, "ua", "client")
                 self.network.send(
                     entry.address, address, response, response.size_bytes(),
                     deliver_response,
@@ -179,6 +190,8 @@ class PProxClient:
                 if call_state["attempt"] < self.max_retries:
                     call_state["attempt"] += 1
                     self.retries_performed += 1
+                    if telemetry is not None:
+                        telemetry.tracer.abandon(attempt_request.request_id)
                     # A fresh request id keeps the retry distinct in
                     # every routing table it traverses.
                     retry = replace(attempt_request, request_id=next_request_id())
@@ -186,6 +199,8 @@ class PProxClient:
                 else:
                     settle(False, [], attempt_request.request_id)
 
+            if telemetry is not None:
+                telemetry.tracer.record_hop(attempt_request.request_id, "client", "ua")
             self.network.send(
                 address,
                 entry.address,
@@ -244,6 +259,10 @@ class DirectClient:
     ) -> None:
         started_at = self.loop.now
         backend = self.lrs_picker()
+        if address not in self.network.roles:
+            self.network.register_role(address, "client")
+        if backend.address not in self.network.roles:
+            self.network.register_role(backend.address, "lrs")
 
         def finish(response: Response) -> None:
             self.calls_completed += 1

@@ -28,6 +28,9 @@ class HealthMonitor:
     service: PProxService
     interval: float = 2.0
     ejected: List[str] = field(default_factory=list)
+    #: Optional :class:`repro.telemetry.Telemetry` hub; ejections are
+    #: recorded as structured ``fault`` events.
+    telemetry: object = None
     _running: bool = False
 
     def start(self) -> None:
@@ -52,4 +55,13 @@ class HealthMonitor:
                 if not instance.alive:
                     balancer.remove(instance)
                     self.ejected.append(instance.name)
+                    if self.telemetry is not None:
+                        self.telemetry.emit_fault(
+                            "operator",
+                            {
+                                "event": "instance_ejected",
+                                "instance": instance.name,
+                                "balancer": balancer.name,
+                            },
+                        )
         self.loop.schedule(self.interval, self._probe)

@@ -12,7 +12,13 @@ from repro.experiments.figures import (
     figure10,
 )
 from repro.experiments.runner import RunResult, run_baseline, run_full, run_micro
-from repro.experiments.report import render_figure, render_medians, render_table2, render_table3
+from repro.experiments.report import (
+    render_figure,
+    render_medians,
+    render_table2,
+    render_table3,
+    render_telemetry,
+)
 
 __all__ = [
     "FigureData",
@@ -32,4 +38,5 @@ __all__ = [
     "render_medians",
     "render_table2",
     "render_table3",
+    "render_telemetry",
 ]

@@ -18,7 +18,13 @@ from repro.cluster.deployments import (
 )
 from repro.experiments.figures import FigureData
 
-__all__ = ["render_figure", "render_table2", "render_table3", "render_medians"]
+__all__ = [
+    "render_figure",
+    "render_table2",
+    "render_table3",
+    "render_medians",
+    "render_telemetry",
+]
 
 
 def render_figure(data: FigureData, unit_scale: float = 1000.0) -> str:
@@ -95,4 +101,21 @@ def render_table3() -> str:
     lines = ["== Table 3: macro-benchmark configurations =="]
     lines += [_macro_row(config) for config in MACRO_BASELINES.values()]
     lines += [_macro_row(config) for config in MACRO_FULL.values()]
+    return "\n".join(lines)
+
+
+def render_telemetry(telemetry) -> str:
+    """Telemetry digest accompanying a figure run.
+
+    *telemetry* is a :class:`repro.telemetry.Telemetry` hub that was
+    passed to the runners; the digest covers traces, per-stage
+    timings, privacy-health gauges, and the redaction audit verdict.
+    """
+    lines = [telemetry.render_summary()]
+    violations = telemetry.audit()
+    if violations:
+        lines.append(f"REDACTION AUDIT FAILED: {len(violations)} leak(s)")
+        lines += [f"  - {violation.describe()}" for violation in violations[:10]]
+    else:
+        lines.append("redaction audit: clean (no identifier leaks in telemetry)")
     return "\n".join(lines)

@@ -26,6 +26,8 @@ from repro.simnet.clock import EventLoop
 from repro.simnet.metrics import CandlestickSummary, LatencyRecorder, trim_window
 from repro.simnet.network import Network
 from repro.simnet.rng import RngRegistry
+from repro.simnet.tracing import BreakdownProbe
+from repro.telemetry import Telemetry, instrument_stack
 from repro.workload.injector import InjectionReport, Injector
 from repro.workload.movielens import SyntheticMovieLens
 from repro.workload.scenario import ScenarioTimings, TwoPhaseScenario
@@ -78,6 +80,8 @@ def run_micro(
     user_count: int = 500,
     pprox_override: Optional[PProxConfig] = None,
     verb: str = "get",
+    telemetry: Optional[Telemetry] = None,
+    probe: Optional[BreakdownProbe] = None,
 ) -> RunResult:
     """Micro-benchmark: PProx in front of the nginx stub (§8.1).
 
@@ -85,12 +89,22 @@ def run_micro(
     performance of get requests, as these are the costlier in terms of
     encryption and payload".  *pprox_override* substitutes an explicit
     proxy configuration (ablations of knobs Table 2 does not vary).
+
+    Pass a :class:`~repro.telemetry.Telemetry` hub to collect spans,
+    metrics and the structured event log across all runs (one bound
+    run label per repetition), and/or a
+    :class:`~repro.simnet.tracing.BreakdownProbe` for the independent
+    wire-level stage breakdown.
     """
     result = RunResult(config_name=config.name, rps=rps, recorder=LatencyRecorder("micro"))
     for run_index in range(runs):
         rng = RngRegistry(seed=seed * 1000 + run_index)
         loop = EventLoop()
         network = Network(loop=loop, rng=rng.stream("net"), record_flows=False)
+        if telemetry is not None:
+            telemetry.bind(loop, run_label=f"{config.name}@{rps:g}rps/run{run_index}")
+        if probe is not None:
+            probe.attach(network)
         stub = StubLrs(loop=loop, rng=rng.stream("stub"))
         crypto = _providers(rng, provider)
         pprox_config = pprox_override or config.pprox_config(shuffle_timeout)
@@ -102,6 +116,7 @@ def run_micro(
             lrs_picker=lambda: stub,
             provider=crypto,
             costs=costs,
+            telemetry=telemetry,
         )
         if pprox_config.encryption and pprox_config.item_pseudonymization:
             # The static payload must look like a captured Harness
@@ -116,8 +131,18 @@ def run_micro(
             service=service,
             costs=costs,
             rng=rng.stream("client"),
+            telemetry=telemetry,
         )
         injector = Injector(loop, rng.stream("injector"), recorder=LatencyRecorder("gets"))
+        if telemetry is not None:
+            instrument_stack(
+                telemetry,
+                service=service,
+                provider=crypto,
+                lrs=stub,
+                injector=injector,
+                network=network,
+            )
         users = [f"user-{index}" for index in range(user_count)]
         user_rng = rng.stream("users")
 
@@ -140,6 +165,10 @@ def run_micro(
         result.recorder.extend(injector.recorder)
         result.window_latencies.extend(injector.recorder.trimmed(*window))
         result.reports.append(injector.report)
+        if telemetry is not None:
+            telemetry.finalize_run(
+                extra={"config": config.name, "rps": rps, "run_index": run_index}
+            )
 
     result.saturated = _is_saturated(result)
     return result
@@ -151,6 +180,7 @@ def _build_macro_stack(
     provider: Optional[CryptoProvider],
     costs: ProxyCostModel,
     shuffle_timeout: float,
+    telemetry: Optional[Telemetry] = None,
 ):
     """Assemble Harness (+ optional PProx) and the matching client."""
     loop = EventLoop()
@@ -169,6 +199,7 @@ def _build_macro_stack(
             lrs_picker=harness.pick_frontend,
             provider=crypto,
             costs=costs,
+            telemetry=telemetry,
         )
         client = PProxClient(
             loop=loop,
@@ -177,9 +208,20 @@ def _build_macro_stack(
             service=service,
             costs=costs,
             rng=rng.stream("client"),
+            telemetry=telemetry,
         )
+        if telemetry is not None:
+            instrument_stack(
+                telemetry,
+                service=service,
+                provider=crypto,
+                lrs=harness,
+                network=network,
+            )
     else:
         client = DirectClient(loop=loop, network=network, lrs_picker=harness.pick_frontend)
+        if telemetry is not None:
+            instrument_stack(telemetry, lrs=harness, network=network)
     return loop, network, harness, client
 
 
@@ -193,13 +235,16 @@ def _run_macro(
     costs: ProxyCostModel,
     shuffle_timeout: float,
     workload_scale: float,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunResult:
     result = RunResult(config_name=config.name, rps=rps, recorder=LatencyRecorder("macro"))
     for run_index in range(runs):
         rng = RngRegistry(seed=seed * 1000 + run_index)
         loop, _, harness, client = _build_macro_stack(
-            config, rng, provider, costs, shuffle_timeout
+            config, rng, provider, costs, shuffle_timeout, telemetry=telemetry
         )
+        if telemetry is not None:
+            telemetry.bind(loop, run_label=f"{config.name}@{rps:g}rps/run{run_index}")
         workload = SyntheticMovieLens(seed=seed, scale=workload_scale)
         scenario = TwoPhaseScenario(
             loop=loop,
@@ -208,11 +253,16 @@ def _run_macro(
             lrs=harness,
             workload=workload,
             timings=timings,
+            telemetry=telemetry,
         )
         outcome = scenario.run(query_rate=rps)
         result.recorder.extend(outcome.recorder)
         result.window_latencies.extend(outcome.trimmed_latencies())
         result.reports.append(outcome.report)
+        if telemetry is not None:
+            telemetry.finalize_run(
+                extra={"config": config.name, "rps": rps, "run_index": run_index}
+            )
     result.saturated = _is_saturated(result)
     return result
 
@@ -245,6 +295,7 @@ def run_full(
     costs: ProxyCostModel = DEFAULT_COSTS,
     shuffle_timeout: float = 0.25,
     workload_scale: float = 0.01,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunResult:
     """Full system: PProx + Harness (Figure 10)."""
     if not config.with_proxy:
@@ -252,7 +303,7 @@ def run_full(
     return _run_macro(
         config, rps, seed, runs, timings or ScenarioTimings(),
         provider=provider, costs=costs, shuffle_timeout=shuffle_timeout,
-        workload_scale=workload_scale,
+        workload_scale=workload_scale, telemetry=telemetry,
     )
 
 

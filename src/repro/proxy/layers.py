@@ -57,6 +57,9 @@ class ProxyRuntime:
     provider: CryptoProvider
     config: PProxConfig
     costs: ProxyCostModel
+    #: Optional :class:`repro.telemetry.Telemetry` hub.  When absent,
+    #: the data plane runs with zero instrumentation overhead.
+    telemetry: Optional[object] = None
 
 
 def _layer_keys(enclave: Enclave, sk_slot: str, k_slot: str) -> LayerKeys:
@@ -65,6 +68,17 @@ def _layer_keys(enclave: Enclave, sk_slot: str, k_slot: str) -> LayerKeys:
         private_key=enclave.secret(sk_slot),
         symmetric_key=enclave.secret(k_slot),
     )
+
+
+def _sgx_attrs(runtime: ProxyRuntime, enclave: Enclave, pending: int) -> dict:
+    """Enclave-boundary cost attributes for the currently open span."""
+    sgx = runtime.costs.sgx
+    if not (runtime.config.sgx and sgx.enabled):
+        return {}
+    return {
+        "sgx_overhead_seconds": sgx.request_overhead(pending, enclave.performance_penalty),
+        "epc_paging": pending > sgx.epc_entries,
+    }
 
 
 @dataclass
@@ -127,12 +141,25 @@ class UserAnonymizer:
 
     def _start_processing(self, entry: tuple) -> None:
         request, reply = entry
+        shuffle_wait = (
+            self.request_buffer.last_wait if self.request_buffer is not None else 0.0
+        )
         service_time = self.runtime.costs.ua_request_leg(
             self.runtime.config, len(self.routing), self.enclave.performance_penalty
         )
-        self.node.submit(service_time, lambda: self._forward(request, reply))
+        self.node.submit(
+            service_time,
+            lambda: self._forward(request, reply, service_time, shuffle_wait),
+        )
 
-    def _forward(self, request: Request, reply: ReplyFn) -> None:
+    def _forward(
+        self,
+        request: Request,
+        reply: ReplyFn,
+        service_time: float = 0.0,
+        shuffle_wait: float = 0.0,
+    ) -> None:
+        ecalls_before = self.enclave.ecall_count
         keys = (
             self._keys_for(_tenant_of(request)) if self.runtime.config.encryption else None
         )
@@ -143,8 +170,12 @@ class UserAnonymizer:
         self.requests_processed += 1
         ia = self.ia_balancer.pick()
         network = self.runtime.network
+        telemetry = self.runtime.telemetry
 
         def reply_from_ia(response: Response) -> None:
+            if telemetry is not None:
+                # Same virtual instant as the ia->ua wire record below.
+                telemetry.tracer.record_hop(response.request_id, "ia", "ua")
             network.send(
                 ia.address,
                 self.address,
@@ -153,6 +184,18 @@ class UserAnonymizer:
                 self._receive_response,
             )
 
+        self.enclave.ocall()
+        if telemetry is not None:
+            telemetry.tracer.annotate(
+                request.request_id,
+                instance=self.name,
+                service_seconds=service_time,
+                shuffle_wait_seconds=shuffle_wait,
+                ecalls=self.enclave.ecall_count - ecalls_before,
+                routing_pending=len(self.routing),
+                **_sgx_attrs(self.runtime, self.enclave, len(self.routing)),
+            )
+            telemetry.tracer.record_hop(request.request_id, "ua", "ia")
         network.send(
             self.address,
             ia.address,
@@ -169,14 +212,28 @@ class UserAnonymizer:
         service_time = self.runtime.costs.ua_response_leg(
             self.runtime.config, len(self.routing), self.enclave.performance_penalty
         )
-        self.node.submit(service_time, lambda: self._return_to_client(response))
+        self.node.submit(
+            service_time, lambda: self._return_to_client(response, service_time)
+        )
 
-    def _return_to_client(self, response: Response) -> None:
+    def _return_to_client(self, response: Response, service_time: float = 0.0) -> None:
         reply, response_key = self.routing.consume(response.request_id)
         wrapped = protocol.ua_wrap_response(
             self.runtime.provider, self.runtime.config, response_key, response
         )
         self.responses_processed += 1
+        self.enclave.ocall()
+        telemetry = self.runtime.telemetry
+        if telemetry is not None:
+            # The ua_outbound span closes when the client-side library
+            # records the ua->client hop inside *reply*.
+            telemetry.tracer.annotate(
+                response.request_id,
+                instance=self.name,
+                service_seconds=service_time,
+                routing_pending=len(self.routing),
+                **_sgx_attrs(self.runtime, self.enclave, len(self.routing)),
+            )
         reply(wrapped)
 
     def _keys_for(self, tenant: str) -> LayerKeys:
@@ -241,9 +298,12 @@ class ItemAnonymizer:
         service_time = self.runtime.costs.ia_request_leg(
             self.runtime.config, len(self.routing), self.enclave.performance_penalty
         )
-        self.node.submit(service_time, lambda: self._forward(request, reply))
+        self.node.submit(
+            service_time, lambda: self._forward(request, reply, service_time)
+        )
 
-    def _forward(self, request: Request, reply: ReplyFn) -> None:
+    def _forward(self, request: Request, reply: ReplyFn, service_time: float = 0.0) -> None:
+        ecalls_before = self.enclave.ecall_count
         keys = (
             self._keys_for(_tenant_of(request)) if self.runtime.config.encryption else None
         )
@@ -254,8 +314,17 @@ class ItemAnonymizer:
         self.requests_processed += 1
         backend = self._pick_backend(request)
         network = self.runtime.network
+        telemetry = self.runtime.telemetry
+        # The IA is the only component that knows, by construction, that
+        # this peer is an LRS backend: register it in the operator-side
+        # role directory on first contact.
+        if backend.address not in network.roles:
+            network.register_role(backend.address, "lrs")
 
         def reply_from_lrs(response: Response) -> None:
+            if telemetry is not None:
+                telemetry.tracer.annotate(response.request_id, backend=backend.address)
+                telemetry.tracer.record_hop(response.request_id, "lrs", "ia")
             network.send(
                 backend.address,
                 self.address,
@@ -264,6 +333,17 @@ class ItemAnonymizer:
                 self._receive_response,
             )
 
+        self.enclave.ocall()
+        if telemetry is not None:
+            telemetry.tracer.annotate(
+                request.request_id,
+                instance=self.name,
+                service_seconds=service_time,
+                ecalls=self.enclave.ecall_count - ecalls_before,
+                routing_pending=len(self.routing),
+                **_sgx_attrs(self.runtime, self.enclave, len(self.routing)),
+            )
+            telemetry.tracer.record_hop(request.request_id, "ia", "lrs")
         network.send(
             self.address,
             backend.address,
@@ -283,6 +363,9 @@ class ItemAnonymizer:
             self._start_response_processing(response)
 
     def _start_response_processing(self, response: Response) -> None:
+        shuffle_wait = (
+            self.response_buffer.last_wait if self.response_buffer is not None else 0.0
+        )
         item_count = len(response.fields.get("items", []))
         service_time = self.runtime.costs.ia_response_leg(
             self.runtime.config,
@@ -290,15 +373,25 @@ class ItemAnonymizer:
             item_count,
             self.enclave.performance_penalty,
         )
-        self.node.submit(service_time, lambda: self._return_to_ua(response))
+        self.node.submit(
+            service_time,
+            lambda: self._return_to_ua(response, service_time, shuffle_wait, item_count),
+        )
 
     def _pick_backend(self, request: Request):
         """Choose the LRS backend; multi-tenant subclasses route by
         the request's tenant."""
         return self.lrs_picker()
 
-    def _return_to_ua(self, response: Response) -> None:
+    def _return_to_ua(
+        self,
+        response: Response,
+        service_time: float = 0.0,
+        shuffle_wait: float = 0.0,
+        item_count: int = 0,
+    ) -> None:
         reply, context = self.routing.consume(response.request_id)
+        ecalls_before = self.enclave.ecall_count
         keys = (
             self._keys_for(context.tenant) if self.runtime.config.encryption else None
         )
@@ -306,6 +399,21 @@ class ItemAnonymizer:
             self.runtime.provider, keys, self.runtime.config, context, response
         )
         self.responses_processed += 1
+        self.enclave.ocall()
+        telemetry = self.runtime.telemetry
+        if telemetry is not None:
+            # The ia_outbound span closes when the UA records the
+            # ia->ua hop inside *reply*.
+            telemetry.tracer.annotate(
+                response.request_id,
+                instance=self.name,
+                service_seconds=service_time,
+                shuffle_wait_seconds=shuffle_wait,
+                item_count=item_count,
+                ecalls=self.enclave.ecall_count - ecalls_before,
+                routing_pending=len(self.routing),
+                **_sgx_attrs(self.runtime, self.enclave, len(self.routing)),
+            )
         reply(transformed)
 
     def _keys_for(self, tenant: str) -> LayerKeys:

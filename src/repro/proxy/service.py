@@ -101,6 +101,7 @@ class PProxService:
         )
         self.ua_instances.append(instance)
         self.ua_balancer.add(instance)
+        self.runtime.network.register_role(instance.address, "ua")
         return instance
 
     def scale_ia(self) -> ItemAnonymizer:
@@ -120,6 +121,7 @@ class PProxService:
         )
         self.ia_instances.append(instance)
         self.ia_balancer.add(instance)
+        self.runtime.network.register_role(instance.address, "ia")
         return instance
 
     # -- breach response (footnote 1) ----------------------------------
@@ -162,6 +164,7 @@ def build_pprox(
     provider: Optional[CryptoProvider] = None,
     costs: ProxyCostModel = DEFAULT_COSTS,
     rsa_bits: int = 1024,
+    telemetry: Optional[object] = None,
 ) -> PProxService:
     """Deploy a PProx service according to *config*.
 
@@ -199,6 +202,7 @@ def build_pprox(
         provider=provider,
         config=config,
         costs=costs,
+        telemetry=telemetry,
     )
     service = PProxService(
         runtime=runtime,

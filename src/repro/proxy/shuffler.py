@@ -22,7 +22,14 @@ __all__ = ["ShuffleBuffer"]
 
 @dataclass
 class ShuffleBuffer:
-    """Buffers entries and releases them in randomized batches."""
+    """Buffers entries and releases them in randomized batches.
+
+    Telemetry hooks: ``on_flush(size, timer_fired)`` fires once per
+    flush; ``last_flush_size`` is the effective ``S`` of the most
+    recent batch (the live privacy-health signal); ``last_wait`` holds
+    the buffered entry's wait time during each ``release`` callback so
+    the release path can attribute shuffle wait vs. processing time.
+    """
 
     loop: EventLoop
     rng: random.Random
@@ -31,10 +38,17 @@ class ShuffleBuffer:
     release: Callable[[Any], None]
     name: str = "shuffle"
     _pending: List[Any] = field(default_factory=list)
+    _enqueued_at: List[float] = field(default_factory=list)
     _timer: Optional[EventHandle] = None
     flushes: int = 0
     timer_flushes: int = 0
     entries_buffered: int = 0
+    last_flush_size: Optional[int] = None
+    #: Wait time of the entry currently being released (valid only
+    #: inside the ``release`` callback).
+    last_wait: float = 0.0
+    #: Optional telemetry hook: called as ``on_flush(size, timer_fired)``.
+    on_flush: Optional[Callable[[int, bool], None]] = None
 
     def __post_init__(self) -> None:
         if self.size < 1:
@@ -45,6 +59,7 @@ class ShuffleBuffer:
     def add(self, entry: Any) -> None:
         """Buffer *entry*; flush if the batch is full."""
         self._pending.append(entry)
+        self._enqueued_at.append(self.loop.now)
         self.entries_buffered += 1
         if len(self._pending) >= self.size:
             self._flush(timer_fired=False)
@@ -57,6 +72,12 @@ class ShuffleBuffer:
         """Entries currently buffered."""
         return len(self._pending)
 
+    def time_to_flush(self, now: float) -> Optional[float]:
+        """Seconds until the pending batch is timer-flushed, if armed."""
+        if self._timer is None or self._timer.cancelled:
+            return None
+        return max(0.0, self._timer.time - now)
+
     def _on_timer(self) -> None:
         self._timer = None
         if self._pending:
@@ -66,10 +87,17 @@ class ShuffleBuffer:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        batch, self._pending = self._pending, []
+        batch = list(zip(self._pending, self._enqueued_at))
+        self._pending, self._enqueued_at = [], []
         self.rng.shuffle(batch)
         self.flushes += 1
         if timer_fired:
             self.timer_flushes += 1
-        for entry in batch:
+        self.last_flush_size = len(batch)
+        if self.on_flush is not None:
+            self.on_flush(len(batch), timer_fired)
+        now = self.loop.now
+        for entry, enqueued_at in batch:
+            self.last_wait = now - enqueued_at
             self.release(entry)
+        self.last_wait = 0.0

@@ -92,6 +92,9 @@ class Enclave:
     compromised: bool = False
     attested: bool = False
     ecall_count: int = 0
+    #: Exit transitions: data leaving the enclave toward the untrusted
+    #: host (outbound sends).  Counted by the proxy layers.
+    ocall_count: int = 0
     #: Multiplier applied to enclave service times while an attack runs
     #: (reported attacks make "enclave performance drop significantly").
     performance_penalty: float = 1.0
@@ -117,6 +120,10 @@ class Enclave:
             raise EnclaveError(f"enclave {self.name!r} is not provisioned")
         self.ecall_count += 1
         return self.sealed.get(key)
+
+    def ocall(self) -> None:
+        """Record an exit transition (data handed to the untrusted host)."""
+        self.ocall_count += 1
 
     def leak_secrets(self) -> Dict[str, Any]:
         """Adversary-side read of sealed memory; only after compromise."""

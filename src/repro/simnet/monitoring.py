@@ -2,54 +2,28 @@
 
 The paper's experimental platform "collect[s] logs in a systematic
 fashion using fluentd" (§7.2); operationally, the elastic scaler and
-the breach detector both need live utilization signals.  This module
-provides the collection side: a :class:`MetricsCollector` samples
-registered gauges on an interval into time series that can be
-queried, summarized, or rendered — all in virtual time.
+the breach detector both need live utilization signals.
+
+This module is now a thin adapter over the unified telemetry layer:
+every gauge registered here becomes a callback
+:class:`~repro.telemetry.registry.Gauge` in a private
+:class:`~repro.telemetry.registry.MetricRegistry`, so the same series
+are queryable through the legacy :attr:`MetricsCollector.series` dict
+*and* renderable as Prometheus text exposition
+(:meth:`MetricsCollector.render_prometheus`).  Scheduling is
+handle-based: ``stop()`` cancels the pending tick, so a stop→start
+cycle can never double-schedule sampling.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional
 
-from repro.simnet.clock import EventLoop
+from repro.simnet.clock import EventHandle, EventLoop
+from repro.telemetry.registry import Gauge, MetricRegistry, TimeSeries
 
 __all__ = ["MetricsCollector", "TimeSeries", "node_gauges", "crypto_cache_gauges"]
-
-
-@dataclass
-class TimeSeries:
-    """One sampled metric: (time, value) points."""
-
-    name: str
-    points: List[Tuple[float, float]] = field(default_factory=list)
-
-    def append(self, time: float, value: float) -> None:
-        self.points.append((time, value))
-
-    def last(self) -> Optional[float]:
-        """Most recent value, or None before the first sample."""
-        return self.points[-1][1] if self.points else None
-
-    def values(self) -> List[float]:
-        return [value for _, value in self.points]
-
-    def maximum(self) -> float:
-        values = self.values()
-        if not values:
-            raise ValueError(f"series {self.name!r} has no samples")
-        return max(values)
-
-    def mean(self) -> float:
-        values = self.values()
-        if not values:
-            raise ValueError(f"series {self.name!r} has no samples")
-        return sum(values) / len(values)
-
-    def window(self, start: float, end: float) -> List[float]:
-        """Values sampled within ``[start, end]``."""
-        return [value for time, value in self.points if start <= time <= end]
 
 
 @dataclass
@@ -59,36 +33,47 @@ class MetricsCollector:
     loop: EventLoop
     interval: float = 1.0
     series: Dict[str, TimeSeries] = field(default_factory=dict)
-    _gauges: Dict[str, Callable[[], float]] = field(default_factory=dict)
-    _running: bool = False
+    registry: MetricRegistry = field(default_factory=MetricRegistry)
+    _instruments: Dict[str, Gauge] = field(default_factory=dict)
+    _handle: Optional[EventHandle] = None
     samples_taken: int = 0
 
     def register(self, name: str, gauge: Callable[[], float]) -> None:
         """Register a gauge; its values land in the series *name*."""
-        if name in self._gauges:
+        if name in self._instruments:
             raise ValueError(f"gauge {name!r} already registered")
-        self._gauges[name] = gauge
-        self.series[name] = TimeSeries(name=name)
+        # The "series" label preserves uniqueness even when two dotted
+        # names sanitize to the same Prometheus metric name.
+        instrument = self.registry.gauge(name, labels={"series": name}, callback=gauge)
+        # Legacy views index by the original dotted name.
+        instrument.series.name = name
+        self._instruments[name] = instrument
+        self.series[name] = instrument.series
+
+    @property
+    def running(self) -> bool:
+        """True while periodic sampling is scheduled."""
+        return self._handle is not None
 
     def start(self) -> None:
-        """Begin periodic sampling."""
-        if self._running:
+        """Begin periodic sampling (idempotent while running)."""
+        if self._handle is not None:
             return
-        self._running = True
-        self.loop.schedule(self.interval, self._sample)
+        self._handle = self.loop.schedule(self.interval, self._sample)
 
     def stop(self) -> None:
-        """Stop sampling (the next tick becomes a no-op)."""
-        self._running = False
+        """Stop sampling; the pending tick is cancelled, so a
+        subsequent :meth:`start` cannot double-schedule."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
 
     def _sample(self) -> None:
-        if not self._running:
-            return
+        self._handle = None
         now = self.loop.now
-        for name, gauge in self._gauges.items():
-            self.series[name].append(now, float(gauge()))
+        self.registry.sample_all(now)
         self.samples_taken += 1
-        self.loop.schedule(self.interval, self._sample)
+        self._handle = self.loop.schedule(self.interval, self._sample)
 
     def render(self) -> str:
         """One summary line per series."""
@@ -103,6 +88,10 @@ class MetricsCollector:
                 f" {series.maximum():10.3f} {len(series.points):6d}"
             )
         return "\n".join(lines)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every registered gauge."""
+        return self.registry.render_prometheus()
 
 
 def node_gauges(collector: MetricsCollector, node, prefix: Optional[str] = None) -> None:
@@ -119,14 +108,27 @@ def crypto_cache_gauges(collector: MetricsCollector, provider, prefix: str = "cr
     Providers without a ``cache_stats()`` method (the fast/sim tiers)
     are silently skipped, so callers can register whatever provider the
     experiment configuration selected.
+
+    ``cache_stats()`` is called once per sample tick: the six gauges
+    read a shared snapshot memoized on the collector's virtual clock,
+    not one provider call each.
     """
     if not callable(getattr(provider, "cache_stats", None)):
         return
+    memo: Dict[str, object] = {"at": None, "stats": None}
+
+    def stats() -> Dict[str, Dict[str, int]]:
+        now = collector.loop.now
+        if memo["at"] != now:
+            memo["stats"] = provider.cache_stats()
+            memo["at"] = now
+        return memo["stats"]  # type: ignore[return-value]
+
     for operation in ("pseudonymize", "depseudonymize"):
         for counter in ("hits", "misses", "size"):
             collector.register(
                 f"{prefix}.{operation}.{counter}",
                 lambda operation=operation, counter=counter: float(
-                    provider.cache_stats()[operation][counter]
+                    stats()[operation][counter]
                 ),
             )

@@ -13,22 +13,33 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.simnet.clock import EventLoop
 
-__all__ = ["Network", "FlowRecord", "LatencyModel"]
+__all__ = ["Network", "FlowRecord", "LatencyModel", "UNKNOWN_ROLE"]
+
+#: Role assigned to addresses nobody registered.  Explicit, so
+#: downstream classifiers never silently lump strangers into ``lrs``.
+UNKNOWN_ROLE = "unknown"
 
 
 @dataclass(frozen=True)
 class FlowRecord:
-    """One observed network transmission (metadata only)."""
+    """One observed network transmission (metadata only).
+
+    ``source_role``/``destination_role`` carry the *operator-side* role
+    directory entries (see :meth:`Network.register_role`); they default
+    to :data:`UNKNOWN_ROLE` for records built without a directory.
+    """
 
     time: float
     source: str
     destination: str
     size_bytes: int
     flow_id: int
+    source_role: str = UNKNOWN_ROLE
+    destination_role: str = UNKNOWN_ROLE
 
 
 @dataclass
@@ -64,6 +75,18 @@ class Network:
     _flow_counter: int = 0
     messages_sent: int = 0
     bytes_sent: int = 0
+    #: Operator-side role directory: address -> ua/ia/lrs/client/...
+    #: Populated at deployment time (service assembly, client attach),
+    #: NOT inferred from address spelling.
+    roles: Dict[str, str] = field(default_factory=dict)
+
+    def register_role(self, address: str, role: str) -> None:
+        """Record that *address* plays *role* (idempotent re-register ok)."""
+        self.roles[address] = role
+
+    def role_of(self, address: str) -> str:
+        """The registered role of *address*, or :data:`UNKNOWN_ROLE`."""
+        return self.roles.get(address, UNKNOWN_ROLE)
 
     def add_observer(self, observer: Callable[[FlowRecord], None]) -> None:
         """Attach a live observer (e.g. the adversary) to the tap."""
@@ -101,6 +124,8 @@ class Network:
             destination=destination,
             size_bytes=size_bytes,
             flow_id=flow_id,
+            source_role=self.role_of(source),
+            destination_role=self.role_of(destination),
         )
         if self.record_flows:
             self.flows.append(record)

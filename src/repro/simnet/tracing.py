@@ -18,11 +18,22 @@ held the request:
 This is how Figure 7/8-style anomalies are diagnosed: at low RPS the
 ``ua_inbound`` and ``ia_outbound`` stages (the two shuffle buffers)
 dominate; near saturation the bottleneck layer's processing time does.
+
+Hops are classified by the **role directory** the deployment registers
+on the :class:`~repro.simnet.network.Network` (``register_role``), not
+by address spelling: an address nobody registered is explicitly
+``unknown`` and its flows never complete a timeline, instead of being
+silently misfiled as LRS traffic.
+
+The richer, span-based view of the same pipeline lives in
+:mod:`repro.telemetry.spans`; this probe remains as the independent
+wire-level cross-check (the two must agree to float precision on the
+same run).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -34,15 +45,7 @@ __all__ = ["BreakdownProbe", "RequestTimeline", "STAGES"]
 
 STAGES = ("ua_inbound", "ia_inbound", "lrs", "ia_outbound", "ua_outbound")
 
-
-def _role(address: str) -> str:
-    if address.startswith("client") or address.startswith("app-frontend"):
-        return "client"
-    if address.startswith("pprox-ua"):
-        return "ua"
-    if address.startswith("pprox-ia"):
-        return "ia"
-    return "lrs"
+_REQUIRED_HOPS = ("client->ua", "ua->ia", "ia->lrs", "lrs->ia", "ia->ua", "ua->client")
 
 
 @dataclass
@@ -58,8 +61,7 @@ class RequestTimeline:
     def stage_durations(self) -> Optional[Dict[str, float]]:
         """Per-stage durations, or None while the trace is incomplete."""
         hops = self.send_times
-        required = ["client->ua", "ua->ia", "ia->lrs", "lrs->ia", "ia->ua", "ua->client"]
-        if any(hop not in hops for hop in required):
+        if any(hop not in hops for hop in _REQUIRED_HOPS):
             return None
         return {
             "ua_inbound": hops["ua->ia"] - hops["client->ua"],
@@ -72,9 +74,25 @@ class RequestTimeline:
 
 @dataclass
 class BreakdownProbe:
-    """Collects request timelines from a network's payload tap."""
+    """Collects request timelines from a network's payload tap.
 
-    timelines: Dict[int, RequestTimeline] = field(default_factory=dict)
+    Memory stays bounded over arbitrarily long runs: a timeline is
+    folded into the per-stage running aggregates (and evicted) the
+    moment it completes, and the incomplete set — requests that died
+    mid-pipeline, timed out, or were retried under a fresh id — is an
+    LRU capped at ``max_incomplete``.
+    """
+
+    #: In-flight (incomplete) timelines only, LRU-ordered by last touch.
+    timelines: "OrderedDict[int, RequestTimeline]" = field(default_factory=OrderedDict)
+    max_incomplete: int = 4096
+    completed_count: int = 0
+    evicted_count: int = 0
+    #: Aligned per-stage duration lists of every completed timeline:
+    #: index i across all five lists is one request's breakdown.
+    _stage_values: Dict[str, List[float]] = field(
+        default_factory=lambda: {stage: [] for stage in STAGES}
+    )
 
     def attach(self, network: Network) -> None:
         """Start observing *network* (operator-side, sees request ids)."""
@@ -87,34 +105,42 @@ class BreakdownProbe:
             return
         if request_id == 0:
             return
-        hop = f"{_role(record.source)}->{_role(record.destination)}"
+        hop = f"{record.source_role}->{record.destination_role}"
         timeline = self.timelines.get(request_id)
         if timeline is None:
             timeline = RequestTimeline(request_id=request_id)
             self.timelines[request_id] = timeline
+            if len(self.timelines) > self.max_incomplete:
+                self.timelines.popitem(last=False)
+                self.evicted_count += 1
+        else:
+            self.timelines.move_to_end(request_id)
         timeline.record(hop, record.time)
+        durations = timeline.stage_durations()
+        if durations is not None:
+            for stage in STAGES:
+                self._stage_values[stage].append(durations[stage])
+            self.completed_count += 1
+            del self.timelines[request_id]
+
+    def stage_values(self) -> Dict[str, List[float]]:
+        """Durations grouped by stage across all completed timelines."""
+        return {stage: list(values) for stage, values in self._stage_values.items()}
 
     def complete_traces(self) -> List[Dict[str, float]]:
         """Stage durations of every fully-observed request."""
-        out = []
-        for timeline in self.timelines.values():
-            durations = timeline.stage_durations()
-            if durations is not None:
-                out.append(durations)
-        return out
+        return [
+            {stage: self._stage_values[stage][index] for stage in STAGES}
+            for index in range(self.completed_count)
+        ]
 
     def aggregate(self, fraction: float = 0.5) -> Dict[str, float]:
         """Per-stage percentile (default median) across all traces."""
-        traces = self.complete_traces()
-        if not traces:
+        if not self.completed_count:
             raise ValueError("no complete traces collected")
-        by_stage: Dict[str, List[float]] = defaultdict(list)
-        for durations in traces:
-            for stage, value in durations.items():
-                by_stage[stage].append(value)
         return {
             stage: percentile(sorted(values), fraction)
-            for stage, values in by_stage.items()
+            for stage, values in self._stage_values.items()
         }
 
     def render(self) -> str:

@@ -1,0 +1,70 @@
+"""Unified privacy-safe telemetry: spans, events, metrics, redaction.
+
+The paper's platform "collect[s] logs in a systematic fashion using
+fluentd" (§7.2) and diagnoses its latency anomalies from per-stage
+breakdowns.  This package is the reproduction's equivalent — built so
+that *operating* the system never turns the operator into the
+traffic-correlation adversary of §4:
+
+* :mod:`repro.telemetry.spans` — a virtual-time span tracer with
+  explicit trace/span ids propagated along the
+  ``client -> UA -> IA -> LRS -> IA -> UA -> client`` pipeline;
+* :mod:`repro.telemetry.registry` — Counter/Gauge/Histogram
+  instruments with Prometheus-style text exposition and a
+  virtual-time scraper;
+* :mod:`repro.telemetry.events` — the fluentd-style structured event
+  log (JSONL artifact per experiment run);
+* :mod:`repro.telemetry.redaction` — the privacy boundary: UA-origin
+  events may never carry item ids, IA-origin events never user ids;
+* :mod:`repro.telemetry.instruments` — wiring helpers that register
+  the standard instruments of every hot path plus the live
+  privacy-health gauges (shuffle fill ``S``, effective anonymity set
+  ``S*I``, time-to-flush);
+* :mod:`repro.telemetry.hub` — the :class:`Telemetry` facade the
+  experiment runners and the CLI plumb through the stack.
+"""
+
+from repro.telemetry.events import EventLog, TelemetryEvent
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.instruments import (
+    instrument_crypto,
+    instrument_injector,
+    instrument_lrs,
+    instrument_network,
+    instrument_service,
+    instrument_stack,
+)
+from repro.telemetry.redaction import RedactionPolicy, Violation, audit_events
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    Scraper,
+    TimeSeries,
+)
+from repro.telemetry.spans import PIPELINE_STAGES, Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "EventLog",
+    "TelemetryEvent",
+    "RedactionPolicy",
+    "Violation",
+    "audit_events",
+    "MetricRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Scraper",
+    "TimeSeries",
+    "Tracer",
+    "Span",
+    "PIPELINE_STAGES",
+    "instrument_stack",
+    "instrument_service",
+    "instrument_crypto",
+    "instrument_lrs",
+    "instrument_injector",
+    "instrument_network",
+]

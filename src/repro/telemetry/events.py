@@ -1,0 +1,102 @@
+"""Structured event log: the fluentd-style JSONL sink.
+
+Every telemetry signal — span completions, metric snapshots, chaos and
+fault events, run lifecycle markers — flows through one
+:class:`EventLog` so a single per-run artifact captures the whole
+story.  Events pass the redaction boundary on the way in: the payload
+is scrubbed according to the emitting role *before* it is stored, so
+nothing downstream (renderers, JSONL files, CI artifacts) can leak
+what the boundary removed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+from repro.telemetry.redaction import DEFAULT_POLICY, RedactionPolicy, Violation
+
+__all__ = ["EventLog", "TelemetryEvent"]
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured record: who said what, when, in virtual time."""
+
+    time: float
+    kind: str  # "span" | "metrics" | "fault" | "run" | ...
+    role: str  # emitting role: client/ua/ia/lrs/operator/unknown
+    payload: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        record = {"time": self.time, "kind": self.kind, "role": self.role}
+        record.update(self.payload)
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+
+@dataclass
+class EventLog:
+    """Append-only in-memory event log with JSONL serialization."""
+
+    clock: Callable[[], float] = lambda: 0.0
+    policy: RedactionPolicy = field(default_factory=lambda: DEFAULT_POLICY)
+    events: List[TelemetryEvent] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    run_label: str = ""
+
+    def emit(self, kind: str, role: str, payload: Mapping[str, Any]) -> TelemetryEvent:
+        """Scrub *payload* for *role* and append the clean event."""
+        clean, violations = self.policy.scrub(role, payload)
+        self.violations.extend(violations)
+        return self._append(kind, role, clean)
+
+    def emit_raw(self, kind: str, role: str, payload: Mapping[str, Any]) -> TelemetryEvent:
+        """Append without scrubbing.
+
+        Exists so tests can plant a deliberate leak and prove the audit
+        catches it; production code paths must use :meth:`emit`.
+        """
+        return self._append(kind, role, dict(payload))
+
+    def _append(self, kind: str, role: str, payload: Dict[str, Any]) -> TelemetryEvent:
+        if self.run_label:
+            payload.setdefault("run", self.run_label)
+        event = TelemetryEvent(time=self.clock(), kind=kind, role=role, payload=payload)
+        self.events.append(event)
+        return event
+
+    # -- queries ---------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TelemetryEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(event.to_json() for event in self.events) + ("\n" if self.events else "")
+
+    def write_jsonl(self, path) -> int:
+        """Write the log to *path*; returns the number of events written."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+        return len(self.events)
+
+    @staticmethod
+    def parse_jsonl(text: str) -> List[Dict[str, Any]]:
+        """Parse a JSONL artifact back into event dicts (for audits)."""
+        records: List[Dict[str, Any]] = []
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"telemetry JSONL line {line_number} is not valid JSON: {exc}") from exc
+        return records

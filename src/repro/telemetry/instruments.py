@@ -1,0 +1,284 @@
+"""Standard instrumentation of the PProx stack.
+
+All helpers here are duck-typed (no imports from ``repro.proxy`` /
+``repro.lrs`` / ``repro.workload``, so the telemetry package never
+participates in an import cycle) and callback-based: instruments read
+the counters the components already maintain, at collect time only.
+The single hot-path exceptions are the shuffle flush-size histogram
+(one ``observe`` per batch flush) and the client latency histogram
+(one per completed call) — both far off the per-message fast path.
+
+Metric naming convention: ``pprox_<subsystem>_<quantity>[_total]``
+with role/instance labels, e.g.
+``pprox_proxy_requests_total{instance="pprox-ua-0",role="ua"}``.
+
+The privacy-health gauges surface the paper's §4.3 guarantee live:
+
+* ``pprox_shuffle_batch_fill`` — mean size of the most recent flush
+  across all shuffle buffers (the effective ``S``; timer-expired
+  flushes drag it below the configured size);
+* ``pprox_effective_anonymity_set`` — fill × number of IA instances,
+  the ``S·I`` bound on the adversary's correlation probability
+  ``1/(S·I)``;
+* ``pprox_shuffle_time_to_flush_seconds`` — worst-case residual wait
+  until a pending batch is forced out by its timer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+__all__ = [
+    "instrument_service",
+    "instrument_crypto",
+    "instrument_lrs",
+    "instrument_injector",
+    "instrument_network",
+    "instrument_stack",
+]
+
+
+def _shuffle_buffers(service: Any) -> List[Any]:
+    buffers = [instance.request_buffer for instance in service.ua_instances]
+    buffers += [instance.response_buffer for instance in service.ia_instances]
+    return [buffer for buffer in buffers if buffer is not None]
+
+
+def instrument_service(telemetry: Any, service: Any) -> None:
+    """Register instruments over a :class:`PProxService` deployment."""
+    registry = telemetry.registry
+
+    for role, instances in (("ua", service.ua_instances), ("ia", service.ia_instances)):
+        for instance in instances:
+            labels = {"role": role, "instance": instance.name}
+            registry.counter(
+                "pprox_proxy_requests_total",
+                "Requests transformed and forwarded by a proxy instance.",
+                labels,
+                callback=lambda inst=instance: inst.requests_processed,
+            )
+            registry.counter(
+                "pprox_proxy_responses_total",
+                "Responses transformed on the return path.",
+                labels,
+                callback=lambda inst=instance: inst.responses_processed,
+            )
+            registry.gauge(
+                "pprox_proxy_pending",
+                "Outstanding work at a proxy instance (queue+routing+buffer).",
+                labels,
+                callback=lambda inst=instance: inst.pending,
+            )
+            registry.gauge(
+                "pprox_node_utilization",
+                "Fraction of host-node core time spent busy.",
+                labels,
+                callback=lambda inst=instance: inst.node.utilization(),
+            )
+            registry.gauge(
+                "pprox_node_queue_length",
+                "Jobs waiting for a free core on the host node.",
+                labels,
+                callback=lambda inst=instance: inst.node.queue_length,
+            )
+            registry.counter(
+                "pprox_enclave_ecalls_total",
+                "Enclave entry transitions (sealed-secret accesses).",
+                labels,
+                callback=lambda inst=instance: inst.enclave.ecall_count,
+            )
+            registry.counter(
+                "pprox_enclave_ocalls_total",
+                "Enclave exit transitions (outbound sends).",
+                labels,
+                callback=lambda inst=instance: getattr(inst.enclave, "ocall_count", 0),
+            )
+
+    for balancer in (service.ua_balancer, service.ia_balancer):
+        registry.counter(
+            "pprox_lb_decisions_total",
+            "Pick decisions made by a load balancer.",
+            {"balancer": balancer.name},
+            callback=lambda lb=balancer: lb.decisions,
+        )
+
+    buffers = _shuffle_buffers(service)
+    for buffer in buffers:
+        labels = {"buffer": buffer.name}
+        registry.counter(
+            "pprox_shuffle_flushes_total",
+            "Shuffle batch flushes (size-triggered and timer-triggered).",
+            labels,
+            callback=lambda buf=buffer: buf.flushes,
+        )
+        registry.counter(
+            "pprox_shuffle_timer_flushes_total",
+            "Shuffle flushes forced by timeout before the batch filled.",
+            labels,
+            callback=lambda buf=buffer: buf.timer_flushes,
+        )
+        registry.gauge(
+            "pprox_shuffle_occupancy",
+            "Entries currently sitting in a shuffle buffer.",
+            labels,
+            callback=lambda buf=buffer: buf.pending,
+        )
+
+    flush_hist = registry.histogram(
+        "pprox_shuffle_flush_size",
+        "Distribution of shuffle batch sizes at flush time.",
+        buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+    )
+    for buffer in buffers:
+        buffer.on_flush = lambda size, timer_fired, hist=flush_hist: hist.observe(size)
+
+    # -- live privacy-health gauges (§4.3) ------------------------------
+
+    def batch_fill() -> float:
+        sizes = [
+            buffer.last_flush_size
+            for buffer in _shuffle_buffers(service)
+            if buffer.last_flush_size is not None
+        ]
+        if not sizes:
+            return 0.0
+        return sum(sizes) / len(sizes)
+
+    registry.gauge(
+        "pprox_shuffle_batch_fill",
+        "Mean size of the most recent shuffle flush (effective S).",
+        callback=batch_fill,
+    )
+    registry.gauge(
+        "pprox_effective_anonymity_set",
+        "Effective anonymity set S*I bounding correlation probability 1/(S*I).",
+        callback=lambda: batch_fill() * max(1, len(service.ia_instances)),
+    )
+
+    def time_to_flush() -> float:
+        now = telemetry.now()
+        waits = [
+            buffer.time_to_flush(now)
+            for buffer in _shuffle_buffers(service)
+            if buffer.time_to_flush(now) is not None
+        ]
+        return max(waits) if waits else 0.0
+
+    registry.gauge(
+        "pprox_shuffle_time_to_flush_seconds",
+        "Longest residual wait until a pending batch is timer-flushed.",
+        callback=time_to_flush,
+    )
+
+
+def instrument_crypto(telemetry: Any, provider: Any) -> None:
+    """Register pseudonym-memo cache instruments (one stats call per tick).
+
+    Providers without ``cache_stats()`` (fast/sim tiers) are skipped.
+    """
+    if not callable(getattr(provider, "cache_stats", None)):
+        return
+    registry = telemetry.registry
+    # All six instruments read one snapshot per virtual instant: the
+    # memo is keyed on telemetry.now(), so a scrape tick (or a render)
+    # costs a single cache_stats() call, not one per instrument.
+    memo: Dict[str, Any] = {"at": None, "stats": None}
+
+    def stats() -> Dict[str, Dict[str, int]]:
+        now = telemetry.now()
+        if memo["at"] != now:
+            memo["stats"] = provider.cache_stats()
+            memo["at"] = now
+        return memo["stats"]
+
+    for operation in ("pseudonymize", "depseudonymize"):
+        labels = {"operation": operation}
+        registry.counter(
+            "pprox_crypto_cache_hits_total",
+            "Pseudonym-memo cache hits.",
+            labels,
+            callback=lambda op=operation: stats()[op]["hits"],
+        )
+        registry.counter(
+            "pprox_crypto_cache_misses_total",
+            "Pseudonym-memo cache misses.",
+            labels,
+            callback=lambda op=operation: stats()[op]["misses"],
+        )
+        registry.gauge(
+            "pprox_crypto_cache_size",
+            "Entries currently memoized.",
+            labels,
+            callback=lambda op=operation: stats()[op]["size"],
+        )
+
+
+def instrument_lrs(telemetry: Any, lrs: Any) -> None:
+    """Register request counters over an LRS stub or Harness service."""
+    registry = telemetry.registry
+    frontends = getattr(lrs, "frontends", None)
+    backends: Iterable[Any] = frontends if frontends else (lrs,)
+    for backend in backends:
+        if not hasattr(backend, "requests_served"):
+            continue
+        registry.counter(
+            "pprox_lrs_requests_total",
+            "Recommendation requests served by an LRS backend.",
+            {"backend": getattr(backend, "address", "lrs")},
+            callback=lambda be=backend: be.requests_served,
+        )
+
+
+def instrument_injector(telemetry: Any, injector: Any) -> None:
+    """Register workload counters and the end-to-end latency histogram."""
+    registry = telemetry.registry
+    report = injector.report
+    for quantity in ("issued", "completed", "failed"):
+        registry.counter(
+            f"pprox_workload_{quantity}_total",
+            f"Calls {quantity} by the workload injector.",
+            callback=lambda rep=report, q=quantity: getattr(rep, q),
+        )
+    latency_hist = registry.histogram(
+        "pprox_request_latency_seconds",
+        "End-to-end client-observed request latency.",
+    )
+    if hasattr(injector, "latency_observer"):
+        injector.latency_observer = latency_hist.observe
+
+
+def instrument_network(telemetry: Any, network: Any) -> None:
+    """Register aggregate traffic counters over the simulated network."""
+    registry = telemetry.registry
+    registry.counter(
+        "pprox_network_messages_total",
+        "Messages delivered by the simulated network.",
+        callback=lambda: network.messages_sent,
+    )
+    registry.counter(
+        "pprox_network_bytes_total",
+        "Serialized payload bytes carried by the simulated network.",
+        callback=lambda: network.bytes_sent,
+    )
+
+
+def instrument_stack(
+    telemetry: Any,
+    *,
+    service: Any = None,
+    provider: Any = None,
+    lrs: Any = None,
+    injector: Any = None,
+    network: Any = None,
+) -> None:
+    """Instrument whichever stack components the caller has on hand."""
+    if service is not None:
+        instrument_service(telemetry, service)
+    if provider is not None:
+        instrument_crypto(telemetry, provider)
+    if lrs is not None:
+        instrument_lrs(telemetry, lrs)
+    if injector is not None:
+        instrument_injector(telemetry, injector)
+    if network is not None:
+        instrument_network(telemetry, network)

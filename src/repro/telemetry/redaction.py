@@ -1,0 +1,169 @@
+"""The privacy boundary of the telemetry layer.
+
+PProx's adversary (§2.3 / §4) observes *every* network flow; the whole
+point of the UA/IA split is that no single vantage point links a user
+id to an item id.  Telemetry is a vantage point too: if UA-side spans
+carried item ids, or IA-side spans user ids, the operator's log
+aggregator would reassemble exactly the correlation the proxies exist
+to destroy.  This module enforces the split at emission time:
+
+* events attributed to the ``ua`` role may never contain item ids;
+* events attributed to the ``ia`` role may never contain user ids;
+* events attributed to the ``lrs`` role may contain neither in the
+  clear (the LRS only ever sees pseudonyms);
+* ``client`` and ``operator`` events are unrestricted — the client
+  library legitimately knows both sides of its own requests.
+
+Violating values are replaced by ``[redacted:<kind>]`` markers and the
+violation is recorded, so the audit (:func:`audit_events`) can both
+fail loudly in tests and prove cleanliness on the real pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+__all__ = ["RedactionPolicy", "Violation", "audit_events", "DEFAULT_POLICY"]
+
+# Identifier shapes used across the repo.  Users come from the
+# MovieLens loader (``user-{N}``) and clients are addressed
+# ``client-{user}``; items are ``movie-{N}`` (MovieLens), ``item-{N}``
+# (synthetic), or ``static-item-{NN}`` (the stub LRS catalogue).
+USER_MARKERS: Tuple[str, ...] = ("user-", "client-")
+ITEM_MARKERS: Tuple[str, ...] = ("static-item-", "item-", "movie-")
+
+# Field names that denote an identifier even when the value itself is
+# opaque (e.g. an already-encrypted blob stored under key "user").
+USER_KEYS = frozenset({"user", "user_id", "client", "client_address"})
+ITEM_KEYS = frozenset({"item", "items", "item_id", "item_ids"})
+
+_REDACTED_USER = "[redacted:user-id]"
+_REDACTED_ITEM = "[redacted:item-id]"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One leaked identifier caught (or detected) at the boundary."""
+
+    role: str
+    kind: str  # "user-id" | "item-id"
+    path: str  # dotted path into the event payload
+    value: str
+
+    def describe(self) -> str:
+        return f"{self.kind} leak in {self.role!r} event at {self.path}: {self.value!r}"
+
+
+def _marker_kind(value: str) -> str | None:
+    """Classify a string as a user id, item id, or neither."""
+    for marker in USER_MARKERS:
+        if value.startswith(marker):
+            return "user-id"
+    for marker in ITEM_MARKERS:
+        if value.startswith(marker):
+            return "item-id"
+    return None
+
+
+@dataclass
+class RedactionPolicy:
+    """Role-aware scrubber applied to every emitted telemetry payload."""
+
+    # role -> kinds of identifier that role must never emit
+    forbidden: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "ua": ("item-id",),
+            "ia": ("user-id",),
+            "lrs": ("user-id", "item-id"),
+        }
+    )
+
+    def forbidden_kinds(self, role: str) -> Tuple[str, ...]:
+        return self.forbidden.get(role, ())
+
+    def scrub(self, role: str, payload: Mapping[str, Any]) -> Tuple[Dict[str, Any], List[Violation]]:
+        """Return a clean copy of *payload* plus the violations found."""
+        kinds = self.forbidden_kinds(role)
+        violations: List[Violation] = []
+        if not kinds:
+            return dict(payload), violations
+        clean = self._scrub_value(role, kinds, payload, "", violations)
+        return clean, violations
+
+    # -- recursive walk -------------------------------------------------
+
+    def _scrub_value(
+        self,
+        role: str,
+        kinds: Tuple[str, ...],
+        value: Any,
+        path: str,
+        violations: List[Violation],
+    ) -> Any:
+        if isinstance(value, Mapping):
+            out: Dict[str, Any] = {}
+            for key, sub in value.items():
+                sub_path = f"{path}.{key}" if path else str(key)
+                key_kind = self._key_kind(key)
+                if key_kind is not None and key_kind in kinds:
+                    violations.append(
+                        Violation(role=role, kind=key_kind, path=sub_path, value=_preview(sub))
+                    )
+                    out[key] = _REDACTED_USER if key_kind == "user-id" else _REDACTED_ITEM
+                    continue
+                out[key] = self._scrub_value(role, kinds, sub, sub_path, violations)
+            return out
+        if isinstance(value, (list, tuple)):
+            return [
+                self._scrub_value(role, kinds, item, f"{path}[{i}]", violations)
+                for i, item in enumerate(value)
+            ]
+        if isinstance(value, (bytes, bytearray)):
+            # Ciphertext / sealed blobs: structurally opaque, keep only size.
+            return f"<{len(value)} bytes>"
+        if isinstance(value, str):
+            kind = _marker_kind(value)
+            if kind is not None and kind in kinds:
+                violations.append(Violation(role=role, kind=kind, path=path, value=value))
+                return _REDACTED_USER if kind == "user-id" else _REDACTED_ITEM
+            return value
+        return value
+
+    @staticmethod
+    def _key_kind(key: Any) -> str | None:
+        if not isinstance(key, str):
+            return None
+        lowered = key.lower()
+        if lowered in USER_KEYS:
+            return "user-id"
+        if lowered in ITEM_KEYS:
+            return "item-id"
+        return None
+
+
+DEFAULT_POLICY = RedactionPolicy()
+
+
+def audit_events(
+    events: Iterable[Mapping[str, Any]],
+    policy: RedactionPolicy | None = None,
+) -> List[Violation]:
+    """Re-scan emitted (or re-parsed) events for identifier leaks.
+
+    This is the adversary's-eye check: it assumes nothing about how an
+    event was produced and simply walks every payload with the role
+    recorded on the event itself.  A clean pipeline returns ``[]``.
+    """
+    policy = policy or DEFAULT_POLICY
+    found: List[Violation] = []
+    for event in events:
+        role = str(event.get("role", "unknown"))
+        _, violations = policy.scrub(role, event)
+        found.extend(violations)
+    return found
+
+
+def _preview(value: Any) -> str:
+    text = repr(value)
+    return text if len(text) <= 80 else text[:77] + "..."

@@ -1,0 +1,297 @@
+"""Span-based tracing over the PProx pipeline, in virtual time.
+
+One client request crosses six network hops::
+
+    client -> UA -> IA -> LRS -> IA -> UA -> client
+       t0     t1    t2     t3     t4    t5
+
+The five paper stages are the deltas between consecutive hops —
+``ua_inbound`` (t0→t1, includes shuffle wait), ``ia_inbound`` (t1→t2),
+``lrs`` (t2→t3), ``ia_outbound`` (t3→t4, includes response shuffle),
+``ua_outbound`` (t4→t5).  Components report each hop to the tracer at
+the same virtual instant they call :meth:`Network.send`, so span
+boundaries are *exactly* the wire timestamps a
+:class:`~repro.simnet.tracing.BreakdownProbe` would observe — the two
+must agree to float precision on the same run.
+
+Trace context is keyed on ``request_id``, which is simulator
+bookkeeping that never appears in a serialized message body: the §2.3
+adversary cannot see it, so propagating it to the tracer adds zero
+bytes to any observable flow.  Crucially, span *attributes* are still
+pushed through the redaction boundary by role when spans are emitted
+to the event log — a UA span annotated with an item id would be
+scrubbed and flagged.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.telemetry.events import EventLog
+
+__all__ = ["PIPELINE_STAGES", "Span", "Trace", "Tracer"]
+
+# Stage names in pipeline order; identical to simnet.tracing.STAGES.
+PIPELINE_STAGES: Tuple[str, ...] = (
+    "ua_inbound",
+    "ia_inbound",
+    "lrs",
+    "ia_outbound",
+    "ua_outbound",
+)
+
+# (from_role, to_role) -> (stage closed by this hop, stage opened, role owning the opened stage)
+_HOP_TRANSITIONS: Dict[Tuple[str, str], Tuple[Optional[str], Optional[str], Optional[str]]] = {
+    ("client", "ua"): (None, "ua_inbound", "ua"),
+    ("ua", "ia"): ("ua_inbound", "ia_inbound", "ia"),
+    ("ia", "lrs"): ("ia_inbound", "lrs", "lrs"),
+    ("lrs", "ia"): ("lrs", "ia_outbound", "ia"),
+    ("ia", "ua"): ("ia_outbound", "ua_outbound", "ua"),
+    ("ua", "client"): ("ua_outbound", None, None),
+}
+
+
+@dataclass
+class Span:
+    """One timed operation attributed to a role."""
+
+    trace_id: int
+    span_id: int
+    name: str
+    role: str
+    start: float
+    parent_id: Optional[int] = None
+    end: Optional[float] = None
+    status: str = "open"  # open | ok | error | abandoned
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    def annotate(self, **attrs: Any) -> None:
+        self.attributes.update(attrs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "name": self.name,
+            "role": self.role,
+            "start": self.start,
+            "status": self.status,
+        }
+        if self.parent_id is not None:
+            record["parent_id"] = self.parent_id
+        if self.end is not None:
+            record["end"] = self.end
+            record["duration"] = self.duration
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        return record
+
+
+@dataclass
+class Trace:
+    """All spans of one request: a root span plus one span per stage."""
+
+    trace_id: int
+    request_id: int
+    root: Span
+    stages: "OrderedDict[str, Span]" = field(default_factory=OrderedDict)
+    open_stage: Optional[str] = None
+    status: str = "open"
+
+    def stage_durations(self) -> Dict[str, float]:
+        """Durations of the closed stages, in pipeline order."""
+        return {
+            name: span.duration
+            for name, span in self.stages.items()
+            if span.end is not None
+        }
+
+    def is_complete(self) -> bool:
+        return self.status == "ok" and all(
+            name in self.stages and self.stages[name].end is not None
+            for name in PIPELINE_STAGES
+        )
+
+    def total_duration(self) -> float:
+        return self.root.duration
+
+
+class Tracer:
+    """Builds traces from hop reports, emits closed spans to the log.
+
+    ``max_active`` bounds the in-flight table: requests that time out
+    client-side (their reply is still in flight when the client gives
+    up and retries under a fresh id) would otherwise pin their trace
+    forever.  Overflowing traces are closed as ``abandoned``.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        event_log: Optional[EventLog] = None,
+        max_active: int = 8192,
+        keep_spans: bool = True,
+    ) -> None:
+        self.clock = clock
+        self.event_log = event_log
+        self.max_active = max_active
+        self.keep_spans = keep_spans
+        self._active: "OrderedDict[int, Trace]" = OrderedDict()
+        self.finished: List[Trace] = []
+        self._next_trace_id = 1
+        self._next_span_id = 1
+        self.traces_started = 0
+        self.traces_completed = 0
+        self.traces_abandoned = 0
+        self.hops_recorded = 0
+        self.unknown_hops = 0
+
+    # -- construction ----------------------------------------------------
+
+    def bind(self, clock: Callable[[], float], event_log: Optional[EventLog] = None) -> None:
+        """Re-point the tracer at a fresh run's clock (and log)."""
+        self.clock = clock
+        if event_log is not None:
+            self.event_log = event_log
+
+    def _new_span(
+        self,
+        trace_id: int,
+        name: str,
+        role: str,
+        start: float,
+        parent_id: Optional[int] = None,
+    ) -> Span:
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._next_span_id,
+            name=name,
+            role=role,
+            start=start,
+            parent_id=parent_id,
+        )
+        self._next_span_id += 1
+        return span
+
+    def _start_trace(self, request_id: int, now: float) -> Trace:
+        root = self._new_span(self._next_trace_id, "request", "client", now)
+        trace = Trace(trace_id=self._next_trace_id, request_id=request_id, root=root)
+        self._next_trace_id += 1
+        self.traces_started += 1
+        self._active[request_id] = trace
+        if len(self._active) > self.max_active:
+            _, evicted = self._active.popitem(last=False)
+            self._finish(evicted, "abandoned", now)
+        return trace
+
+    # -- the hot path ----------------------------------------------------
+
+    def record_hop(self, request_id: int, from_role: str, to_role: str) -> None:
+        """Report a network send for *request_id* at the current instant.
+
+        Called by the component issuing the send, in the same event
+        callback, so ``clock()`` here equals the flow-record timestamp.
+        """
+        now = self.clock()
+        self.hops_recorded += 1
+        transition = _HOP_TRANSITIONS.get((from_role, to_role))
+        if transition is None:
+            self.unknown_hops += 1
+            return
+        closes, opens, open_role = transition
+
+        trace = self._active.get(request_id)
+        if trace is None:
+            if closes is not None:
+                # Mid-pipeline first sighting (e.g. tracer attached after
+                # requests were already in flight): nothing to stitch.
+                return
+            trace = self._start_trace(request_id, now)
+        else:
+            self._active.move_to_end(request_id)
+
+        if closes is not None and trace.open_stage == closes:
+            span = trace.stages[closes]
+            span.end = now
+            span.status = "ok"
+            trace.open_stage = None
+            self._emit_span(span)
+        if opens is not None and open_role is not None:
+            span = self._new_span(trace.trace_id, opens, open_role, now, parent_id=trace.root.span_id)
+            trace.stages[opens] = span
+            trace.open_stage = opens
+
+    def annotate(self, request_id: int, **attrs: Any) -> None:
+        """Attach attributes to the stage span currently open for a request."""
+        trace = self._active.get(request_id)
+        if trace is None or trace.open_stage is None:
+            return
+        trace.stages[trace.open_stage].annotate(**attrs)
+
+    def end_trace(self, request_id: int, ok: bool = True) -> Optional[Trace]:
+        """Close a request's root span (called at client settle time)."""
+        trace = self._active.pop(request_id, None)
+        if trace is None:
+            return None
+        self._finish(trace, "ok" if ok else "error", self.clock())
+        return trace
+
+    def abandon(self, request_id: int) -> None:
+        """Drop a request that will never complete (timeout/retry)."""
+        trace = self._active.pop(request_id, None)
+        if trace is not None:
+            self._finish(trace, "abandoned", self.clock())
+
+    def _finish(self, trace: Trace, status: str, now: float) -> None:
+        if trace.open_stage is not None:
+            dangling = trace.stages[trace.open_stage]
+            dangling.status = "abandoned"
+            trace.open_stage = None
+        trace.root.end = now
+        trace.root.status = status
+        trace.status = status
+        if status == "ok":
+            self.traces_completed += 1
+        elif status == "abandoned":
+            self.traces_abandoned += 1
+        self._emit_span(trace.root, trace=trace)
+        if self.keep_spans:
+            self.finished.append(trace)
+
+    def _emit_span(self, span: Span, trace: Optional[Trace] = None) -> None:
+        if self.event_log is None:
+            return
+        payload = span.to_dict()
+        if trace is not None:
+            payload["stage_durations"] = trace.stage_durations()
+            payload["complete"] = trace.is_complete()
+        self.event_log.emit("span", span.role, payload)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def complete_traces(self) -> List[Trace]:
+        return [trace for trace in self.finished if trace.is_complete()]
+
+    def complete_stage_durations(self) -> List[Dict[str, float]]:
+        """Per-trace stage durations for every complete trace."""
+        return [trace.stage_durations() for trace in self.complete_traces()]
+
+    def stage_values(self) -> Dict[str, List[float]]:
+        """Durations grouped by stage across all complete traces."""
+        grouped: Dict[str, List[float]] = {name: [] for name in PIPELINE_STAGES}
+        for durations in self.complete_stage_durations():
+            for name in PIPELINE_STAGES:
+                grouped[name].append(durations[name])
+        return grouped

@@ -48,6 +48,9 @@ class Injector:
     recorder: LatencyRecorder = field(default_factory=LatencyRecorder)
     report: InjectionReport = field(default_factory=InjectionReport)
     jitter_seconds: float = 0.001
+    #: Optional telemetry hook: called with each successful call's
+    #: latency (wired to a histogram by ``instrument_injector``).
+    latency_observer: Optional[Callable[[float], None]] = None
 
     def inject(
         self,
@@ -82,5 +85,7 @@ class Injector:
         if call.ok:
             self.report.completed += 1
             self.recorder.record(call.completed_at, call.latency)
+            if self.latency_observer is not None:
+                self.latency_observer(call.latency)
         else:
             self.report.failed += 1

@@ -85,3 +85,39 @@ def test_render_contains_all_series():
     collector.stop()
     text = collector.render()
     assert "a.b" in text and "never.sampled" in text
+
+
+def test_render_with_never_sampled_series():
+    collector = MetricsCollector(loop=EventLoop())
+    collector.register("quiet", lambda: 3.0)
+    text = collector.render()  # must not raise on the empty series
+    assert "quiet" in text
+    assert "-" in text
+
+
+def test_stop_then_start_does_not_double_schedule():
+    loop = EventLoop()
+    collector = MetricsCollector(loop=loop, interval=1.0)
+    collector.register("g", lambda: 1.0)
+    collector.start()
+    assert collector.running
+    loop.run_until(2.5)
+    collector.stop()
+    assert not collector.running
+    collector.start()
+    collector.start()  # second start while running is a no-op
+    loop.run_until(5.5)
+    collector.stop()
+    # One sample per elapsed interval, never two per tick: the stop at
+    # t=2.5 cancelled the pending tick, and restart re-arms exactly one.
+    assert collector.samples_taken == 5
+    assert len(collector.series["g"].points) == 5
+
+
+def test_render_prometheus_exposes_registered_gauges():
+    loop = EventLoop()
+    collector = MetricsCollector(loop=loop, interval=1.0)
+    collector.register("node.queue_length", lambda: 4.0)
+    text = collector.render_prometheus()
+    assert "# TYPE node_queue_length gauge" in text
+    assert 'node_queue_length{series="node.queue_length"} 4' in text

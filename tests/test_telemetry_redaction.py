@@ -1,0 +1,108 @@
+"""Redaction boundary tests: the audit must catch a planted leak and
+pass on the real pipeline."""
+
+import pytest
+
+from repro.cluster.deployments import MICRO_CONFIGS
+from repro.experiments.runner import run_micro
+from repro.telemetry import EventLog, RedactionPolicy, Telemetry, audit_events
+
+
+@pytest.fixture
+def policy():
+    return RedactionPolicy()
+
+
+def test_ua_must_not_carry_item_ids(policy):
+    clean, violations = policy.scrub("ua", {"item": "opaque", "note": "item-42"})
+    assert clean["item"] == "[redacted:item-id]"  # key-based
+    assert clean["note"] == "[redacted:item-id]"  # marker-based
+    assert {v.kind for v in violations} == {"item-id"}
+    # User ids are legitimate on the UA side.
+    clean, violations = policy.scrub("ua", {"user": "user-7"})
+    assert clean == {"user": "user-7"}
+    assert violations == []
+
+
+def test_ia_must_not_carry_user_ids(policy):
+    clean, violations = policy.scrub("ia", {"user": "pseudonym", "src": "client-user-3"})
+    assert clean["user"] == "[redacted:user-id]"
+    assert clean["src"] == "[redacted:user-id]"
+    assert {v.kind for v in violations} == {"user-id"}
+    clean, violations = policy.scrub("ia", {"item": "item-9"})
+    assert clean == {"item": "item-9"}
+    assert violations == []
+
+
+def test_lrs_may_carry_neither(policy):
+    _, violations = policy.scrub("lrs", {"user": "x", "items": ["movie-1"]})
+    assert {v.kind for v in violations} == {"user-id", "item-id"}
+
+
+def test_client_and_operator_are_unrestricted(policy):
+    for role in ("client", "operator"):
+        payload = {"user": "user-1", "item": "item-2"}
+        clean, violations = policy.scrub(role, payload)
+        assert clean == payload
+        assert violations == []
+
+
+def test_nested_structures_and_paths(policy):
+    payload = {"batch": [{"ref": "static-item-03"}, {"ok": 1}]}
+    clean, violations = policy.scrub("ua", payload)
+    assert clean["batch"][0]["ref"] == "[redacted:item-id]"
+    [violation] = violations
+    assert violation.path == "batch[0].ref"
+    assert "item-id leak" in violation.describe()
+
+
+def test_bytes_reduced_to_size(policy):
+    clean, violations = policy.scrub("ua", {"blob": b"\x00" * 48})
+    assert clean["blob"] == "<48 bytes>"
+    assert violations == []
+
+
+def test_event_log_scrubs_at_emission():
+    log = EventLog()
+    event = log.emit("span", "ia", {"user": "user-5"})
+    assert event.payload["user"] == "[redacted:user-id]"
+    assert len(log.violations) == 1
+
+
+def test_audit_catches_deliberate_leak():
+    telemetry = Telemetry()
+    assert telemetry.audit() == []
+    # Plant a leak past the boundary, as a buggy instrument would.
+    telemetry.event_log.emit_raw("span", "ua", {"item": "item-31337"})
+    leaks = telemetry.audit()
+    assert len(leaks) == 1
+    assert leaks[0].kind == "item-id"
+    assert leaks[0].role == "ua"
+
+
+def test_real_pipeline_passes_audit_and_artifact_round_trips(tmp_path):
+    """Acceptance: a full encrypted+shuffled run emits zero identifier
+    leaks, and the JSONL artifact re-parses to the same clean verdict."""
+    telemetry = Telemetry()
+    result = run_micro(MICRO_CONFIGS["m6"], 25.0, seed=11, runs=1,
+                      duration=4.0, trim=1.0, telemetry=telemetry)
+    assert sum(report.completed for report in result.reports) > 0
+    assert len(telemetry.event_log) > 0
+    # Nothing was even scrubbed at the boundary: the instrumentation
+    # never hands identifiers to the wrong role in the first place.
+    assert telemetry.boundary_violations == []
+    assert telemetry.audit() == []
+
+    paths = telemetry.write_artifact(str(tmp_path))
+    text = open(paths["events"], encoding="utf-8").read()
+    records = EventLog.parse_jsonl(text)
+    assert len(records) == len(telemetry.event_log)
+    assert audit_events(records) == []
+    prom = open(paths["metrics"], encoding="utf-8").read()
+    assert "pprox_shuffle_batch_fill" in prom
+    assert "pprox_effective_anonymity_set" in prom
+
+
+def test_parse_jsonl_reports_bad_line_number():
+    with pytest.raises(ValueError, match="line 2"):
+        EventLog.parse_jsonl('{"ok": 1}\nnot-json\n')

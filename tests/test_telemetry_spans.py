@@ -1,0 +1,149 @@
+"""Tracer unit tests plus the span-vs-wire parity acceptance check."""
+
+import pytest
+
+from repro.cluster.deployments import MICRO_CONFIGS
+from repro.experiments.runner import run_micro
+from repro.simnet.tracing import STAGES, BreakdownProbe
+from repro.telemetry import PIPELINE_STAGES, Telemetry
+from repro.telemetry.spans import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def drive_full_pipeline(tracer, clock, request_id=1):
+    hops = [
+        ("client", "ua"),
+        ("ua", "ia"),
+        ("ia", "lrs"),
+        ("lrs", "ia"),
+        ("ia", "ua"),
+        ("ua", "client"),
+    ]
+    for src, dst in hops:
+        clock.now += 1.0
+        tracer.record_hop(request_id, src, dst)
+    tracer.end_trace(request_id, ok=True)
+
+
+def test_tracer_builds_complete_trace_from_hops():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    drive_full_pipeline(tracer, clock)
+    assert tracer.traces_completed == 1
+    [trace] = tracer.complete_traces()
+    assert trace.is_complete()
+    assert list(trace.stages) == list(PIPELINE_STAGES)
+    # Each hop advanced the clock by 1s, so every stage lasted 1s.
+    assert trace.stage_durations() == {stage: 1.0 for stage in PIPELINE_STAGES}
+    # Root span opens at the first hop (t=1) and closes at settle (t=6).
+    assert trace.total_duration() == pytest.approx(5.0)
+    # Stage roles follow the pipeline, not the sender.
+    assert trace.stages["lrs"].role == "lrs"
+    assert trace.stages["ua_outbound"].role == "ua"
+
+
+def test_tracer_mid_pipeline_sighting_is_ignored():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    tracer.record_hop(42, "ua", "ia")  # never saw client->ua
+    assert tracer.active_count == 0
+    assert tracer.hops_recorded == 1
+
+
+def test_tracer_unknown_hop_counted_not_traced():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    tracer.record_hop(1, "unknown", "ua")
+    assert tracer.unknown_hops == 1
+    assert tracer.active_count == 0
+
+
+def test_tracer_abandon_marks_dangling_stage():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    clock.now = 1.0
+    tracer.record_hop(7, "client", "ua")
+    clock.now = 2.0
+    tracer.abandon(7)
+    assert tracer.traces_abandoned == 1
+    [trace] = tracer.finished
+    assert trace.status == "abandoned"
+    assert trace.stages["ua_inbound"].status == "abandoned"
+    assert not trace.is_complete()
+
+
+def test_tracer_annotate_targets_open_stage():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    tracer.record_hop(1, "client", "ua")
+    tracer.annotate(1, shuffle_wait_seconds=0.25)
+    tracer.record_hop(1, "ua", "ia")
+    tracer.annotate(1, backend="lrs-0")
+    trace = tracer._active[1]
+    assert trace.stages["ua_inbound"].attributes == {"shuffle_wait_seconds": 0.25}
+    assert trace.stages["ia_inbound"].attributes == {"backend": "lrs-0"}
+
+
+def test_tracer_overflow_evicts_oldest_as_abandoned():
+    clock = FakeClock()
+    tracer = Tracer(clock, max_active=2)
+    for request_id in (1, 2, 3):
+        tracer.record_hop(request_id, "client", "ua")
+    assert tracer.active_count == 2
+    assert tracer.traces_abandoned == 1
+    assert tracer.finished[0].request_id == 1
+
+
+def test_span_duration_requires_closed_span():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    tracer.record_hop(1, "client", "ua")
+    span = tracer._active[1].stages["ua_inbound"]
+    with pytest.raises(ValueError):
+        _ = span.duration
+
+
+def test_e2e_spans_match_wire_probe_to_float_precision():
+    """Acceptance: every completed request yields a five-stage trace and
+    the span-derived stage durations equal the BreakdownProbe's
+    wire-level reconstruction on the same run."""
+    telemetry = Telemetry()
+    probe = BreakdownProbe()
+    config = MICRO_CONFIGS["m6"]  # full pipeline: crypto + sgx + shuffling
+    result = run_micro(
+        config, 25.0, seed=3, runs=1, duration=5.0, trim=1.0,
+        telemetry=telemetry, probe=probe,
+    )
+    completed = sum(report.completed for report in result.reports)
+    assert completed > 0
+    traces = telemetry.tracer.complete_traces()
+    assert len(traces) == completed == probe.completed_count
+    for trace in traces:
+        assert set(trace.stages) == set(STAGES)
+
+    span_values = telemetry.tracer.stage_values()
+    wire_values = probe.stage_values()
+    assert tuple(PIPELINE_STAGES) == tuple(STAGES)
+    for stage in STAGES:
+        spans = sorted(span_values[stage])
+        wire = sorted(wire_values[stage])
+        assert len(spans) == len(wire)
+        for a, b in zip(spans, wire):
+            assert a == pytest.approx(b, abs=1e-9)
+
+
+def test_e2e_no_shuffle_config_also_traces():
+    telemetry = Telemetry()
+    config = MICRO_CONFIGS["m1"]  # no encryption, no shuffle
+    result = run_micro(config, 20.0, seed=5, runs=1, duration=4.0, trim=1.0,
+                       telemetry=telemetry)
+    completed = sum(report.completed for report in result.reports)
+    assert completed > 0
+    assert len(telemetry.tracer.complete_traces()) == completed
