@@ -7,10 +7,17 @@ Subcommands:
 * ``demo``            — run the quickstart scenario;
 * ``validate``        — check the experiment index against the tree;
 * ``telemetry-smoke`` — short end-to-end run with full telemetry,
-  writes the per-run artifact and self-checks traces + redaction.
+  writes the per-run artifact and self-checks traces + redaction;
+* ``chaos-smoke``     — seeded fault-injection drill: crashes, partitions,
+  drops, delay spikes and an LRS brownout against a live deployment;
+  asserts the availability floor, full recovery and a clean redaction
+  audit, and writes the telemetry artifact (byte-identical across
+  same-seed invocations — CI diffs two runs).
 """
 
 from __future__ import annotations
+
+__all__ = ["main"]
 
 import argparse
 import sys
@@ -143,6 +150,49 @@ def _cmd_telemetry_smoke(args) -> int:
     return 0
 
 
+def _cmd_chaos_smoke(args) -> int:
+    """Seeded chaos drill with availability + recovery self-checks."""
+    from repro.experiments.chaos import run_chaos
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry(scrape_interval=1.0)
+    result = run_chaos(
+        seed=args.seed,
+        rps=args.rps,
+        duration=args.duration,
+        availability_floor=args.availability_floor,
+        telemetry=telemetry,
+    )
+    summary = result.to_dict()
+    print("chaos drill summary")
+    print("===================")
+    for key in (
+        "seed", "issued", "completed", "failed", "availability",
+        "crashes_injected", "restarts_completed", "failovers", "readmissions",
+        "partition_drops", "random_drops", "delays_injected",
+        "brownout_rejected", "brownout_slowed",
+        "retries_performed", "hedges_launched", "timeouts",
+    ):
+        print(f"  {key:22s} {summary[key]}")
+    print(f"  {'outcomes':22s} {summary['outcomes']}")
+
+    paths = telemetry.write_artifact(args.telemetry_dir)
+    print(f"artifact: {paths['events']} ({len(result.fault_events)} fault events)")
+    print(f"artifact: {paths['metrics']}")
+
+    problems = result.problems()
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(
+        f"chaos smoke OK: availability {result.availability:.3f}"
+        f" >= {result.availability_floor:.2f},"
+        f" {result.crashes_injected} crashes recovered, audit clean"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -166,6 +216,16 @@ def main(argv=None) -> int:
     smoke.add_argument("--duration", type=float, default=8.0)
     smoke.add_argument("--seed", type=int, default=7)
     smoke.set_defaults(fn=_cmd_telemetry_smoke)
+    chaos = subparsers.add_parser(
+        "chaos-smoke", help="seeded fault-injection drill with recovery checks"
+    )
+    chaos.add_argument("--telemetry-dir", default="results/chaos-smoke",
+                       help="directory for the telemetry.jsonl/.prom artifact")
+    chaos.add_argument("--rps", type=float, default=60.0)
+    chaos.add_argument("--duration", type=float, default=12.0)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--availability-floor", type=float, default=0.9)
+    chaos.set_defaults(fn=_cmd_chaos_smoke)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -16,19 +16,27 @@ LRS; it drives the unprotected baseline configurations (b1-b4).
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.crypto.provider import CryptoProvider
 from repro.proxy import protocol
 from repro.proxy.config import PProxConfig
 from repro.proxy.costs import ProxyCostModel
-from repro.proxy.service import PProxService
+from repro.proxy.layers import RETRYABLE_STATUS
+from repro.proxy.service import PProxService, _looks_like_context
 from repro.rest.messages import Request, Response, Verb, make_get, make_post, next_request_id
 from repro.simnet.clock import EventLoop
+from repro.simnet.loadbalancer import BalancerError
 from repro.simnet.network import Network
+from repro.telemetry.types import TelemetryLike
 
-__all__ = ["PProxClient", "DirectClient", "CompletedCall"]
+__all__ = ["PProxClient", "DirectClient", "CompletedCall", "OUTCOME_CLASSES"]
+
+#: Request-outcome classes counted by ``PProxClient.outcomes`` (and the
+#: ``pprox_request_outcome`` counter family built over them).
+OUTCOME_CLASSES = ("ok", "retried", "hedged", "failed")
 
 
 @dataclass(frozen=True)
@@ -49,9 +57,23 @@ class CompletedCall:
         return self.completed_at - self.started_at
 
 
-@dataclass
+@dataclass(init=False)
 class PProxClient:
-    """User-side library instance bound to a PProx deployment."""
+    """User-side library instance bound to a PProx deployment.
+
+    Two construction forms are accepted.  Preferred::
+
+        PProxClient(ctx, service, request_timeout=0.5, ...)
+
+    with *ctx* a :class:`repro.context.SimContext` (the client draws
+    its provider, cost model, telemetry hub and a dedicated ``client``
+    RNG stream from it).  The legacy bundle ::
+
+        PProxClient(loop, network, provider, service, costs, rng, ...)
+
+    (positionally or by keyword) still works but emits
+    :class:`DeprecationWarning`.
+    """
 
     loop: EventLoop
     network: Network
@@ -72,11 +94,121 @@ class PProxClient:
     max_retries: int = 0
     #: Optional :class:`repro.telemetry.Telemetry` hub.  The client is
     #: where traces begin (t0 hop) and end (settle).
-    telemetry: Optional[object] = None
+    telemetry: Optional[TelemetryLike] = None
+    #: Exponential-backoff schedule for retries: the n-th retry waits
+    #: ``backoff_base * backoff_factor**(n-1) + U(0, backoff_jitter)``
+    #: seconds, with the jitter drawn from the client's own seeded RNG
+    #: (deterministic for a fixed seed).  ``backoff_base == 0``
+    #: reproduces the original immediate-retry behaviour.
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.0
+    #: Launch one hedged duplicate of a call (fresh request id, same
+    #: payload) if no response arrived within this many seconds; first
+    #: answer wins, the loser's trace is abandoned.  ``None`` disables
+    #: hedging.  Hedges do not consume the retry budget.
+    hedge_delay: Optional[float] = None
     calls_started: int = 0
     calls_completed: int = 0
     retries_performed: int = 0
     timeouts: int = 0
+    #: Retryable (e.g. 503 stale-key) error responses observed.
+    retryable_errors: int = 0
+    hedges_launched: int = 0
+    #: Settled-call classification: ok / retried / hedged / failed.
+    outcomes: Dict[str, int] = field(default_factory=dict)
+
+    _LEGACY_PARAMS = (
+        "loop", "network", "provider", "service", "costs", "rng",
+        "material", "tenant", "request_timeout", "max_retries", "telemetry",
+    )
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        first = args[0] if args else kwargs.get("ctx")
+        if first is not None and _looks_like_context(first):
+            merged: Dict[str, Any] = dict(zip(("ctx", "service"), args))
+            overlap = set(merged) & set(kwargs)
+            if overlap:
+                raise TypeError(f"PProxClient got multiple values for {sorted(overlap)}")
+            merged.update(kwargs)
+            ctx = merged.pop("ctx")
+            try:
+                service = merged.pop("service")
+            except KeyError:
+                raise TypeError("PProxClient(ctx, ...) requires a service") from None
+            provider = merged.pop("provider", None) or ctx.provider
+            if provider is None:
+                raise ValueError(
+                    "SimContext.provider is unset; set it on the context (or "
+                    "build through repro.context.Deployment, which resolves one)"
+                )
+            rng = merged.pop("rng", None) or ctx.rng.stream("client")
+            self._init_fields(
+                loop=ctx.loop,
+                network=ctx.network,
+                provider=provider,
+                service=service,
+                costs=merged.pop("costs", None) or ctx.costs,
+                rng=rng,
+                telemetry=merged.pop("telemetry", ctx.telemetry),
+                **merged,
+            )
+            return
+        warnings.warn(
+            "PProxClient(loop, network, provider, service, costs, rng, ...) is "
+            "deprecated; pass a repro.context.SimContext as the first argument "
+            "(or use repro.context.Deployment.client)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        legacy: Dict[str, Any] = dict(zip(self._LEGACY_PARAMS, args))
+        overlap = set(legacy) & set(kwargs)
+        if overlap:
+            raise TypeError(f"PProxClient got multiple values for {sorted(overlap)}")
+        legacy.update(kwargs)
+        self._init_fields(**legacy)
+
+    def _init_fields(
+        self,
+        *,
+        loop: EventLoop,
+        network: Network,
+        provider: CryptoProvider,
+        service: PProxService,
+        costs: ProxyCostModel,
+        rng: random.Random,
+        material: Optional[protocol.ClientMaterial] = None,
+        tenant: Optional[str] = None,
+        request_timeout: Optional[float] = None,
+        max_retries: int = 0,
+        telemetry: Optional[TelemetryLike] = None,
+        backoff_base: float = 0.0,
+        backoff_factor: float = 2.0,
+        backoff_jitter: float = 0.0,
+        hedge_delay: Optional[float] = None,
+    ) -> None:
+        self.loop = loop
+        self.network = network
+        self.provider = provider
+        self.service = service
+        self.costs = costs
+        self.rng = rng
+        self.material = material
+        self.tenant = tenant
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.telemetry = telemetry
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_jitter = backoff_jitter
+        self.hedge_delay = hedge_delay
+        self.calls_started = 0
+        self.calls_completed = 0
+        self.retries_performed = 0
+        self.timeouts = 0
+        self.retryable_errors = 0
+        self.hedges_launched = 0
+        self.outcomes = {outcome: 0 for outcome in OUTCOME_CLASSES}
 
     @property
     def config(self) -> PProxConfig:
@@ -98,13 +230,18 @@ class PProxClient:
     ) -> None:
         """Issue ``post(u, i[, p])`` through the proxy service."""
         address = client_address or f"client-{user}"
-        request = make_post(user, item, payload, client_address=address)
-        encoded, keys = protocol.client_encode_post(
-            self.provider, self.client_material, self.config, request
-        )
-        if self.tenant is not None:
-            encoded = encoded.with_fields(tenant=self.tenant)
-        self._dispatch(encoded, address, user, keys, on_complete)
+
+        def encode():
+            fresh = make_post(user, item, payload, client_address=address)
+            encoded, keys = protocol.client_encode_post(
+                self.provider, self.client_material, self.config, fresh
+            )
+            if self.tenant is not None:
+                encoded = encoded.with_fields(tenant=self.tenant)
+            return encoded, keys
+
+        encoded, keys = encode()
+        self._dispatch(encoded, address, user, keys, on_complete, re_encode=encode)
 
     def get(
         self,
@@ -114,13 +251,18 @@ class PProxClient:
     ) -> None:
         """Issue ``get(u)`` through the proxy service."""
         address = client_address or f"client-{user}"
-        request = make_get(user, client_address=address)
-        encoded, keys = protocol.client_encode_get(
-            self.provider, self.client_material, self.config, request
-        )
-        if self.tenant is not None:
-            encoded = encoded.with_fields(tenant=self.tenant)
-        self._dispatch(encoded, address, user, keys, on_complete)
+
+        def encode():
+            fresh = make_get(user, client_address=address)
+            encoded, keys = protocol.client_encode_get(
+                self.provider, self.client_material, self.config, fresh
+            )
+            if self.tenant is not None:
+                encoded = encoded.with_fields(tenant=self.tenant)
+            return encoded, keys
+
+        encoded, keys = encode()
+        self._dispatch(encoded, address, user, keys, on_complete, re_encode=encode)
 
     def _dispatch(
         self,
@@ -129,6 +271,7 @@ class PProxClient:
         user: str,
         keys: protocol.CallKeys,
         on_complete: Optional[Callable[[CompletedCall], None]],
+        re_encode: Optional[Callable[[], Any]] = None,
     ) -> None:
         started_at = self.loop.now
         self.calls_started += 1
@@ -136,15 +279,34 @@ class PProxClient:
         if address not in self.network.roles:
             self.network.register_role(address, "client")
         encrypt_delay = self.costs.client_encrypt_seconds(self.config)
-        call_state = {"settled": False, "attempt": 0}
+        call_state: Dict[str, Any] = {
+            "settled": False,
+            "attempt": 0,
+            "retries": 0,
+            "hedged": False,
+            "live_ids": set(),
+        }
+        live_ids: Set[int] = call_state["live_ids"]
 
-        def settle(ok: bool, items: List[str], request_id: int) -> None:
+        def settle(ok: bool, items: List[str], request_id: int, hedged: bool = False) -> None:
             if call_state["settled"]:
                 return
             call_state["settled"] = True
             self.calls_completed += 1
+            if not ok:
+                outcome = "failed"
+            elif hedged:
+                outcome = "hedged"
+            elif call_state["retries"] > 0:
+                outcome = "retried"
+            else:
+                outcome = "ok"
+            self.outcomes[outcome] += 1
             if telemetry is not None:
                 telemetry.tracer.end_trace(request_id, ok)
+                for loser in sorted(live_ids):
+                    if loser != request_id:
+                        telemetry.tracer.abandon(loser)
             if on_complete is not None:
                 on_complete(
                     CompletedCall(
@@ -158,21 +320,93 @@ class PProxClient:
                     )
                 )
 
-        def attempt(attempt_request: Request) -> None:
+        def backoff_delay() -> float:
+            if self.backoff_base <= 0:
+                return 0.0
+            exponent = max(0, call_state["retries"] - 1)
+            delay = self.backoff_base * (self.backoff_factor ** exponent)
+            if self.backoff_jitter > 0:
+                delay += self.backoff_jitter * self.rng.random()
+            return delay
+
+        def retry_after(previous: Request, previous_keys: protocol.CallKeys) -> None:
+            """Re-issue the call under a fresh id, after backoff."""
+            call_state["attempt"] += 1
+            call_state["retries"] += 1
+            self.retries_performed += 1
+            live_ids.discard(previous.request_id)
+            if telemetry is not None:
+                telemetry.tracer.abandon(previous.request_id)
+            if re_encode is not None:
+                # Re-seal under the *current* client material: a retry
+                # provoked by a stale-key 503 (mid-rotation) only heals
+                # if it is encrypted against the rotated keys.
+                fresh, fresh_keys = re_encode()
+                retry = replace(fresh, request_id=next_request_id())
+            else:
+                # A fresh request id keeps the retry distinct in every
+                # routing table it traverses.
+                retry = replace(previous, request_id=next_request_id())
+                fresh_keys = previous_keys
+            delay = backoff_delay()
+            if delay > 0:
+                self.loop.schedule(delay, lambda: attempt(retry, fresh_keys))
+            else:
+                attempt(retry, fresh_keys)
+
+        def attempt(
+            attempt_request: Request,
+            attempt_keys: protocol.CallKeys,
+            hedged: bool = False,
+        ) -> None:
+            if call_state["settled"]:
+                return
             attempt_index = call_state["attempt"]
-            entry = self.service.entry()
+            live_ids.add(attempt_request.request_id)
+            try:
+                entry = self.service.entry()
+            except BalancerError:
+                # Every UA instance is ejected right now.  Treat like a
+                # lost message: back off and retry while budget lasts.
+                live_ids.discard(attempt_request.request_id)
+                if hedged:
+                    return
+                if call_state["retries"] < self.max_retries:
+                    self.retryable_errors += 1
+                    retry_after(attempt_request, attempt_keys)
+                else:
+                    settle(False, [], attempt_request.request_id)
+                return
 
             def deliver_response(response: Response) -> None:
                 decrypt_delay = self.costs.client_decrypt_seconds(self.config)
                 self.loop.schedule(decrypt_delay, lambda: finish(response))
 
             def finish(response: Response) -> None:
+                if call_state["settled"]:
+                    return
+                retryable = (
+                    response.status == RETRYABLE_STATUS
+                    or bool(response.fields.get("retryable"))
+                )
+                if not response.ok and retryable:
+                    self.retryable_errors += 1
+                    if not hedged and call_state["retries"] < self.max_retries:
+                        retry_after(attempt_request, attempt_keys)
+                        return
+                    if hedged:
+                        # A failed hedge never settles the call; the
+                        # primary attempt (or its timeout) decides.
+                        live_ids.discard(attempt_request.request_id)
+                        if telemetry is not None:
+                            telemetry.tracer.abandon(attempt_request.request_id)
+                        return
                 items: List[str] = []
                 if response.ok and request.verb == Verb.GET:
                     items = protocol.client_decode_response(
-                        self.provider, self.config, response, keys
+                        self.provider, self.config, response, attempt_keys
                     )
-                settle(response.ok, items, attempt_request.request_id)
+                settle(response.ok, items, attempt_request.request_id, hedged=hedged)
 
             def reply_to_client(response: Response) -> None:
                 if telemetry is not None:
@@ -187,17 +421,22 @@ class PProxClient:
                 if call_state["settled"] or call_state["attempt"] != attempt_index:
                     return
                 self.timeouts += 1
-                if call_state["attempt"] < self.max_retries:
-                    call_state["attempt"] += 1
-                    self.retries_performed += 1
-                    if telemetry is not None:
-                        telemetry.tracer.abandon(attempt_request.request_id)
-                    # A fresh request id keeps the retry distinct in
-                    # every routing table it traverses.
-                    retry = replace(attempt_request, request_id=next_request_id())
-                    attempt(retry)
+                if call_state["retries"] < self.max_retries:
+                    retry_after(attempt_request, attempt_keys)
                 else:
                     settle(False, [], attempt_request.request_id)
+
+            def launch_hedge() -> None:
+                if (
+                    call_state["settled"]
+                    or call_state["hedged"]
+                    or call_state["attempt"] != attempt_index
+                ):
+                    return
+                call_state["hedged"] = True
+                self.hedges_launched += 1
+                hedge = replace(attempt_request, request_id=next_request_id())
+                attempt(hedge, attempt_keys, hedged=True)
 
             if telemetry is not None:
                 telemetry.tracer.record_hop(attempt_request.request_id, "client", "ua")
@@ -208,13 +447,15 @@ class PProxClient:
                 attempt_request.size_bytes(),
                 lambda req: entry.receive_request(req, reply_to_client),
             )
-            if self.request_timeout is not None:
+            if not hedged and self.request_timeout is not None:
                 self.loop.schedule(self.request_timeout, on_timeout)
+            if not hedged and self.hedge_delay is not None:
+                self.loop.schedule(self.hedge_delay, launch_hedge)
 
         if encrypt_delay > 0:
-            self.loop.schedule(encrypt_delay, lambda: attempt(request))
+            self.loop.schedule(encrypt_delay, lambda: attempt(request, keys))
         else:
-            attempt(request)
+            attempt(request, keys)
 
 
 @dataclass

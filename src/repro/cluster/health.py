@@ -1,37 +1,45 @@
 """Health checking of proxy instances (kube-proxy endpoint pruning).
 
 Kubernetes removes failed pods from a Service's endpoint set once
-probes fail; :class:`HealthMonitor` models that: it probes every
-instance's ``alive`` flag on an interval and ejects dead ones from
-their load balancer, so new traffic stops being routed into the void.
-Requests already lost inside a dead instance are recovered by the
-client library's timeout + retry (see
+probes fail, and adds them back when their readiness probe passes;
+:class:`HealthMonitor` models both halves.  It probes every instance's
+``alive`` flag on an interval, ejects dead ones from their load
+balancer so new traffic stops being routed into the void, and readmits
+instances that came back (an instance only flips alive again after
+:meth:`repro.proxy.service.PProxService.restart_instance` completed
+re-attestation and re-provisioning, so a readmitted backend always
+holds valid layer keys).  Requests already lost inside a dead instance
+are recovered by the client library's timeout + retry (see
 :class:`repro.client.library.PProxClient`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.proxy.service import PProxService
 from repro.simnet.clock import EventLoop
+from repro.telemetry.types import TelemetryLike
 
 __all__ = ["HealthMonitor"]
 
 
 @dataclass
 class HealthMonitor:
-    """Periodically ejects dead instances from the balancers."""
+    """Periodically ejects dead instances and readmits recovered ones."""
 
     loop: EventLoop
     service: PProxService
     interval: float = 2.0
     ejected: List[str] = field(default_factory=list)
-    #: Optional :class:`repro.telemetry.Telemetry` hub; ejections are
-    #: recorded as structured ``fault`` events.
-    telemetry: object = None
+    readmitted: List[str] = field(default_factory=list)
+    #: Optional telemetry hub; ejections/readmissions are recorded as
+    #: structured ``fault`` events and the eject->readmit span feeds
+    #: the ``pprox_recovery_seconds`` histogram.
+    telemetry: Optional[TelemetryLike] = None
     _running: bool = False
+    _ejected_at: Dict[str, float] = field(default_factory=dict)
 
     def start(self) -> None:
         """Begin probing."""
@@ -44,6 +52,11 @@ class HealthMonitor:
         """Stop probing (the next tick becomes a no-op)."""
         self._running = False
 
+    @property
+    def failovers(self) -> int:
+        """Backends ejected over this monitor's lifetime."""
+        return len(self.ejected)
+
     def _probe(self) -> None:
         if not self._running:
             return
@@ -51,10 +64,11 @@ class HealthMonitor:
             (self.service.ua_balancer, self.service.ua_instances),
             (self.service.ia_balancer, self.service.ia_instances),
         ):
-            for instance in list(balancer.backends):
-                if not instance.alive:
-                    balancer.remove(instance)
+            for instance in instances:
+                if not instance.alive and balancer.contains(instance):
+                    balancer.eject(instance)
                     self.ejected.append(instance.name)
+                    self._ejected_at[instance.name] = self.loop.now
                     if self.telemetry is not None:
                         self.telemetry.emit_fault(
                             "operator",
@@ -64,4 +78,31 @@ class HealthMonitor:
                                 "balancer": balancer.name,
                             },
                         )
+                elif instance.alive and not balancer.contains(instance):
+                    # Readiness passed: the instance restarted with a
+                    # freshly attested, re-provisioned enclave.
+                    balancer.readmit(instance)
+                    self.readmitted.append(instance.name)
+                    self._record_recovery(instance, balancer.name)
         self.loop.schedule(self.interval, self._probe)
+
+    def _record_recovery(self, instance, balancer_name: str) -> None:
+        ejected_at = self._ejected_at.pop(instance.name, None)
+        if self.telemetry is None:
+            return
+        payload = {
+            "event": "instance_readmitted",
+            "instance": instance.name,
+            "balancer": balancer_name,
+            "generation": instance.generation,
+            "attested": instance.enclave.attested,
+        }
+        if ejected_at is not None:
+            recovery_seconds = self.loop.now - ejected_at
+            payload["recovery_seconds"] = recovery_seconds
+            self.telemetry.registry.histogram(
+                "pprox_recovery_seconds",
+                "Time from balancer ejection to readmission of an instance.",
+                buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0),
+            ).observe(recovery_seconds)
+        self.telemetry.emit_fault("operator", payload)

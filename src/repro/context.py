@@ -1,0 +1,158 @@
+"""Deployment context API: one bundle instead of six loose arguments.
+
+Every experiment used to thread ``loop, network, rng, provider, costs,
+telemetry`` through ``build_pprox`` and again through ``PProxClient``;
+each new cross-cutting concern (telemetry yesterday, fault injection
+today) widened every call site.  :class:`SimContext` bundles the
+simulation substrate once, and :class:`Deployment` is the keyword-only
+facade that assembles a service — and hands out clients, health
+monitors and fault controllers — from it.
+
+The old signatures still work (with :class:`DeprecationWarning`) and
+produce byte-identical deployments; see ``tests/test_context_api.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
+
+from repro.client.library import PProxClient
+from repro.crypto.provider import CryptoProvider, SimCryptoProvider
+from repro.proxy.config import PProxConfig
+from repro.proxy.costs import DEFAULT_COSTS, ProxyCostModel
+from repro.proxy.service import PProxService, build_service
+from repro.simnet.clock import EventLoop
+from repro.simnet.network import Network
+from repro.simnet.rng import RngRegistry
+from repro.telemetry.types import TelemetryLike
+
+__all__ = ["SimContext", "Deployment"]
+
+
+@dataclass
+class SimContext:
+    """The simulation substrate a deployment is built on.
+
+    Bundles the six values previously passed loose: the event loop,
+    the network fabric, the seeded RNG registry, the crypto provider,
+    the calibrated cost model, and the (optional) telemetry hub.
+    """
+
+    loop: EventLoop
+    network: Network
+    rng: RngRegistry
+    provider: Optional[CryptoProvider] = None
+    costs: ProxyCostModel = DEFAULT_COSTS
+    telemetry: Optional[TelemetryLike] = None
+
+    @classmethod
+    def fresh(
+        cls,
+        seed: int,
+        *,
+        record_flows: bool = False,
+        provider: Optional[CryptoProvider] = None,
+        costs: ProxyCostModel = DEFAULT_COSTS,
+        telemetry: Optional[TelemetryLike] = None,
+    ) -> "SimContext":
+        """A ready-to-use context: new loop, network and RNG registry.
+
+        The network draws its latency jitter from the registry's
+        ``net`` stream, exactly as every runner did by hand.
+        """
+        loop = EventLoop()
+        rng = RngRegistry(seed=seed)
+        network = Network(loop=loop, rng=rng.stream("net"), record_flows=record_flows)
+        return cls(
+            loop=loop,
+            network=network,
+            rng=rng,
+            provider=provider,
+            costs=costs,
+            telemetry=telemetry,
+        )
+
+    def with_provider(self, provider: CryptoProvider) -> "SimContext":
+        """Copy of this context with *provider* installed."""
+        return replace(self, provider=provider)
+
+    def resolved_provider(self) -> CryptoProvider:
+        """The context's provider, defaulting to a seeded sim provider.
+
+        The default is memoized onto the context so the service and
+        every client share one provider instance (the sim provider's
+        token registry is shared state).
+        """
+        if self.provider is None:
+            self.provider = SimCryptoProvider(rng_bytes=self.rng.bytes_fn("provider"))
+        return self.provider
+
+
+@dataclass
+class Deployment:
+    """A deployed PProx service plus the context it runs in."""
+
+    ctx: SimContext
+    service: PProxService
+    config: PProxConfig
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        ctx: SimContext,
+        config: PProxConfig,
+        lrs_picker: Callable[[], object],
+        rsa_bits: int = 1024,
+    ) -> "Deployment":
+        """Assemble a service from *ctx* (keyword-only).
+
+        Equivalent to the legacy ``build_pprox(loop, network, rng,
+        config, lrs_picker, ...)`` call for the same inputs.
+        """
+        provider = ctx.resolved_provider()
+        service = build_service(
+            loop=ctx.loop,
+            network=ctx.network,
+            rng=ctx.rng,
+            config=config,
+            lrs_picker=lrs_picker,
+            provider=provider,
+            costs=ctx.costs,
+            rsa_bits=rsa_bits,
+            telemetry=ctx.telemetry,
+        )
+        return cls(ctx=ctx, service=service, config=config)
+
+    def client(
+        self,
+        *,
+        rng: Optional[random.Random] = None,
+        **client_options: Any,
+    ) -> PProxClient:
+        """A user-side library bound to this deployment.
+
+        *client_options* pass through to :class:`PProxClient`
+        (``request_timeout``, ``max_retries``, ``backoff_base``,
+        ``hedge_delay``, ``tenant``, ...).  The client's RNG defaults
+        to the registry's ``client`` stream.
+        """
+        return PProxClient(
+            self.ctx,
+            self.service,
+            rng=rng if rng is not None else self.ctx.rng.stream("client"),
+            **client_options,
+        )
+
+    def health_monitor(self, *, interval: float = 2.0):
+        """A :class:`repro.cluster.health.HealthMonitor` for the service."""
+        from repro.cluster.health import HealthMonitor
+
+        return HealthMonitor(
+            loop=self.ctx.loop,
+            service=self.service,
+            interval=interval,
+            telemetry=self.ctx.telemetry,
+        )

@@ -21,6 +21,7 @@ __all__ = [
     "PaddingError",
     "encode_identifier",
     "decode_identifier",
+    "is_padding_item",
     "pad_item_list",
     "strip_padding_items",
     "b64",

@@ -11,6 +11,11 @@ from repro.experiments.figures import (
     figure9,
     figure10,
 )
+from repro.experiments.chaos import (
+    ChaosResult,
+    default_chaos_config,
+    run_chaos,
+)
 from repro.experiments.runner import RunResult, run_baseline, run_full, run_micro
 from repro.experiments.report import (
     render_figure,
@@ -31,6 +36,9 @@ __all__ = [
     "MICRO_RPS_GRID",
     "SCALING_RPS_GRID",
     "RunResult",
+    "ChaosResult",
+    "default_chaos_config",
+    "run_chaos",
     "run_micro",
     "run_baseline",
     "run_full",

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-__all__ = ["Experiment", "EXPERIMENT_INDEX"]
+__all__ = ["Experiment", "EXPERIMENT_INDEX", "validate_index"]
 
 
 @dataclass(frozen=True)
@@ -147,6 +147,18 @@ EXPERIMENT_INDEX: Dict[str, Experiment] = {
         modules=("repro.related.paillier", "repro.related.encrypted_slope_one"),
         bench="benchmarks/test_related_work_contrast.py",
         claims=("order-of-magnitude latency gap in PProx's favour",),
+    ),
+    "chaos": Experiment(
+        identifier="chaos",
+        title="Fault injection and failure recovery drill",
+        workload="gets against the stub under crashes, partitions, loss, brownouts",
+        modules=("repro.faults", "repro.cluster.health", "repro.experiments.chaos"),
+        bench="tests/test_chaos_scenario.py",
+        claims=(
+            "availability stays above the floor with all fault kinds active",
+            "crashed enclaves re-attest and re-provision before readmission",
+            "same-seed chaos runs are deterministic",
+        ),
     ),
     "ablations": Experiment(
         identifier="ablations",

@@ -13,15 +13,15 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.client.library import DirectClient, PProxClient
+from repro.client.library import DirectClient
 from repro.cluster.deployments import MacroConfig, MicroConfig
-from repro.crypto.provider import CryptoProvider, SimCryptoProvider
+from repro.context import Deployment, SimContext
+from repro.crypto.provider import CryptoProvider
 from repro.lrs.engine import HarnessEngine
 from repro.lrs.service import HarnessService
 from repro.lrs.stub import StubLrs, make_pseudonymous_payload
 from repro.proxy.config import PProxConfig
 from repro.proxy.costs import DEFAULT_COSTS, ProxyCostModel
-from repro.proxy.service import build_pprox
 from repro.simnet.clock import EventLoop
 from repro.simnet.metrics import CandlestickSummary, LatencyRecorder, trim_window
 from repro.simnet.network import Network
@@ -61,12 +61,6 @@ class RunResult:
         return self.summary().median
 
 
-def _providers(rng: RngRegistry, provider: Optional[CryptoProvider]) -> CryptoProvider:
-    if provider is not None:
-        return provider
-    return SimCryptoProvider(rng_bytes=rng.bytes_fn("provider"))
-
-
 def run_micro(
     config: MicroConfig,
     rps: float,
@@ -98,41 +92,29 @@ def run_micro(
     """
     result = RunResult(config_name=config.name, rps=rps, recorder=LatencyRecorder("micro"))
     for run_index in range(runs):
-        rng = RngRegistry(seed=seed * 1000 + run_index)
-        loop = EventLoop()
-        network = Network(loop=loop, rng=rng.stream("net"), record_flows=False)
+        ctx = SimContext.fresh(
+            seed * 1000 + run_index, costs=costs, telemetry=telemetry
+        )
+        loop, network, rng = ctx.loop, ctx.network, ctx.rng
+        if provider is not None:
+            ctx.provider = provider
         if telemetry is not None:
             telemetry.bind(loop, run_label=f"{config.name}@{rps:g}rps/run{run_index}")
         if probe is not None:
             probe.attach(network)
         stub = StubLrs(loop=loop, rng=rng.stream("stub"))
-        crypto = _providers(rng, provider)
         pprox_config = pprox_override or config.pprox_config(shuffle_timeout)
-        service = build_pprox(
-            loop,
-            network,
-            rng,
-            pprox_config,
-            lrs_picker=lambda: stub,
-            provider=crypto,
-            costs=costs,
-            telemetry=telemetry,
+        deployment = Deployment.build(
+            ctx=ctx, config=pprox_config, lrs_picker=lambda: stub
         )
+        service, crypto = deployment.service, ctx.resolved_provider()
         if pprox_config.encryption and pprox_config.item_pseudonymization:
             # The static payload must look like a captured Harness
             # response: pseudonymous item identifiers.
             stub.items = make_pseudonymous_payload(
                 crypto, service.provisioner.layer_keys["IA"].symmetric_key
             )
-        client = PProxClient(
-            loop=loop,
-            network=network,
-            provider=crypto,
-            service=service,
-            costs=costs,
-            rng=rng.stream("client"),
-            telemetry=telemetry,
-        )
+        client = deployment.client()
         injector = Injector(loop, rng.stream("injector"), recorder=LatencyRecorder("gets"))
         if telemetry is not None:
             instrument_stack(
@@ -185,36 +167,27 @@ def _build_macro_stack(
     """Assemble Harness (+ optional PProx) and the matching client."""
     loop = EventLoop()
     network = Network(loop=loop, rng=rng.stream("net"), record_flows=False)
+    ctx = SimContext(
+        loop=loop, network=network, rng=rng,
+        provider=provider, costs=costs, telemetry=telemetry,
+    )
     harness = HarnessService(
         loop=loop, rng=rng.stream("lrs"), frontend_count=config.frontends,
         engine=HarnessEngine(),
     )
     if config.with_proxy:
-        crypto = _providers(rng, provider)
-        service = build_pprox(
-            loop,
-            network,
-            rng,
-            config.pprox_config(shuffle_timeout),
+        deployment = Deployment.build(
+            ctx=ctx,
+            config=config.pprox_config(shuffle_timeout),
             lrs_picker=harness.pick_frontend,
-            provider=crypto,
-            costs=costs,
-            telemetry=telemetry,
         )
-        client = PProxClient(
-            loop=loop,
-            network=network,
-            provider=crypto,
-            service=service,
-            costs=costs,
-            rng=rng.stream("client"),
-            telemetry=telemetry,
-        )
+        service = deployment.service
+        client = deployment.client()
         if telemetry is not None:
             instrument_stack(
                 telemetry,
                 service=service,
-                provider=crypto,
+                provider=ctx.resolved_provider(),
                 lrs=harness,
                 network=network,
             )

@@ -1,0 +1,32 @@
+"""Deterministic fault injection and recovery orchestration.
+
+The subsystem has three mechanism layers and one policy layer:
+
+* :mod:`repro.faults.plan` — *what breaks when*: seeded, immutable
+  :class:`FaultPlan` schedules sampled from a :class:`ChaosSpec`;
+* :mod:`repro.faults.netfaults` — wire faults (partitions, loss,
+  delay spikes) behind the network's fault-filter hook;
+* :mod:`repro.faults.brownout` — LRS degradation (retryable errors,
+  inflated latency) as a transparent handle wrapper;
+* :mod:`repro.faults.supervisor` — schedules the plan, crashes and
+  restarts enclave instances, opens/closes fault windows, and emits
+  structured chaos telemetry.
+
+Everything runs on the virtual clock and draws from named RNG streams,
+so a chaos run is exactly as reproducible as a fault-free one.
+"""
+
+from repro.faults.brownout import BrownoutLrs
+from repro.faults.netfaults import NetworkFaultController
+from repro.faults.plan import FAULT_KINDS, ChaosSpec, FaultEvent, FaultPlan
+from repro.faults.supervisor import FaultSupervisor
+
+__all__ = [
+    "BrownoutLrs",
+    "ChaosSpec",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSupervisor",
+    "NetworkFaultController",
+]

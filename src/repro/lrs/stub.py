@@ -19,7 +19,7 @@ from repro.rest.messages import Request, Response, Verb
 from repro.simnet.clock import EventLoop
 from repro.simnet.node import SimNode
 
-__all__ = ["StubLrs", "STATIC_ITEMS"]
+__all__ = ["StubLrs", "STATIC_ITEMS", "make_pseudonymous_payload"]
 
 #: The stub's constant payload (same cardinality as a padded Harness
 #: recommendation list).

@@ -32,10 +32,37 @@ from repro.simnet.clock import EventLoop
 from repro.simnet.loadbalancer import LoadBalancer
 from repro.simnet.network import Network
 from repro.simnet.node import SimNode
+from repro.telemetry.types import TelemetryLike
 
-__all__ = ["UserAnonymizer", "ItemAnonymizer", "ProxyRuntime", "DEFAULT_TENANT"]
+__all__ = [
+    "UserAnonymizer",
+    "ItemAnonymizer",
+    "ProxyRuntime",
+    "DEFAULT_TENANT",
+    "RETRYABLE_STATUS",
+    "transform_error_response",
+]
 
 ReplyFn = Callable[[Response], None]
+
+#: Status returned when a proxy layer cannot transform a message (e.g.
+#: its keys were rotated while the request was in flight).  Clients
+#: treat it like a timeout: back off and retry under a fresh id.
+RETRYABLE_STATUS = 503
+
+
+def transform_error_response(request: Request, exc: Exception) -> Response:
+    """A retryable error reply for a failed cryptographic transform.
+
+    Only the exception *type* crosses the wire: exception messages can
+    quote the payload being transformed, which may hold identifiers the
+    redaction boundary must never see.
+    """
+    return Response(
+        status=RETRYABLE_STATUS,
+        fields={"retryable": True, "error": type(exc).__name__},
+        request_id=request.request_id,
+    )
 
 #: Tenant label used by single-application deployments.
 DEFAULT_TENANT = "default"
@@ -59,7 +86,7 @@ class ProxyRuntime:
     costs: ProxyCostModel
     #: Optional :class:`repro.telemetry.Telemetry` hub.  When absent,
     #: the data plane runs with zero instrumentation overhead.
-    telemetry: Optional[object] = None
+    telemetry: Optional[TelemetryLike] = None
 
 
 def _layer_keys(enclave: Enclave, sk_slot: str, k_slot: str) -> LayerKeys:
@@ -97,6 +124,15 @@ class UserAnonymizer:
     #: Crash-stop failure flag: a dead instance silently drops traffic
     #: (clients recover via timeout + retry).
     alive: bool = True
+    #: Bumped on every restart; callbacks scheduled by a previous life
+    #: carry their generation and go inert once it is stale.
+    generation: int = 0
+    #: Transforms rejected with a retryable error (e.g. stale keys
+    #: after a breach-response rotation).
+    transform_errors: int = 0
+    #: Responses dropped because their routing entry did not survive a
+    #: crash/restart (the client recovers via timeout + retry).
+    stale_responses: int = 0
 
     def __post_init__(self) -> None:
         if self.node is None:
@@ -124,10 +160,37 @@ class UserAnonymizer:
 
     # -- request path --------------------------------------------------
 
-    def fail(self) -> None:
+    def fail(self) -> int:
         """Crash-stop this instance: all in-flight and future traffic
-        addressed to it is lost."""
+        addressed to it is lost, including its buffered shuffle batch.
+        Returns the number of buffered entries drained."""
         self.alive = False
+        if self.request_buffer is not None:
+            return self.request_buffer.drain()
+        return 0
+
+    def restart(self, enclave: Enclave) -> None:
+        """Come back from a crash with a freshly provisioned enclave.
+
+        The caller (see :meth:`PProxService.restart_instance
+        <repro.proxy.service.PProxService.restart_instance>`) must have
+        completed remote attestation and key provisioning on *enclave*
+        first — an unattested enclave holds no layer secrets and could
+        not serve.  Pre-crash routing state is gone (crash-stop), so a
+        fresh routing table starts this life; late responses addressed
+        to the old life are counted in ``stale_responses`` and dropped.
+        """
+        if self.alive:
+            raise RuntimeError(f"instance {self.name!r} is alive; nothing to restart")
+        if not enclave.attested:
+            raise ValueError(
+                f"enclave {enclave.name!r} must complete attestation and "
+                "provisioning before it can serve"
+            )
+        self.generation += 1
+        self.enclave = enclave
+        self.routing = RoutingTable(name=f"T-ua-g{self.generation}")
+        self.alive = True
 
     def receive_request(self, request: Request, reply: ReplyFn) -> None:
         """Entry point for a client request delivered by the network."""
@@ -147,9 +210,10 @@ class UserAnonymizer:
         service_time = self.runtime.costs.ua_request_leg(
             self.runtime.config, len(self.routing), self.enclave.performance_penalty
         )
+        generation = self.generation
         self.node.submit(
             service_time,
-            lambda: self._forward(request, reply, service_time, shuffle_wait),
+            lambda: self._forward(request, reply, service_time, shuffle_wait, generation),
         )
 
     def _forward(
@@ -158,14 +222,26 @@ class UserAnonymizer:
         reply: ReplyFn,
         service_time: float = 0.0,
         shuffle_wait: float = 0.0,
+        generation: Optional[int] = None,
     ) -> None:
+        if not self.alive or (generation is not None and generation != self.generation):
+            return
         ecalls_before = self.enclave.ecall_count
-        keys = (
-            self._keys_for(_tenant_of(request)) if self.runtime.config.encryption else None
-        )
-        transformed, response_key = protocol.ua_transform_request(
-            self.runtime.provider, keys, self.runtime.config, request, self.address
-        )
+        try:
+            keys = (
+                self._keys_for(_tenant_of(request))
+                if self.runtime.config.encryption
+                else None
+            )
+            transformed, response_key = protocol.ua_transform_request(
+                self.runtime.provider, keys, self.runtime.config, request, self.address
+            )
+        except Exception as exc:
+            # Stale client material vs. rotated layer keys (breach
+            # response mid-flight): reject retryably, never crash.
+            self.transform_errors += 1
+            reply(transform_error_response(request, exc))
+            return
         self.routing.register(request.request_id, (reply, response_key))
         self.requests_processed += 1
         ia = self.ia_balancer.pick()
@@ -212,11 +288,25 @@ class UserAnonymizer:
         service_time = self.runtime.costs.ua_response_leg(
             self.runtime.config, len(self.routing), self.enclave.performance_penalty
         )
+        generation = self.generation
         self.node.submit(
-            service_time, lambda: self._return_to_client(response, service_time)
+            service_time,
+            lambda: self._return_to_client(response, service_time, generation),
         )
 
-    def _return_to_client(self, response: Response, service_time: float = 0.0) -> None:
+    def _return_to_client(
+        self,
+        response: Response,
+        service_time: float = 0.0,
+        generation: Optional[int] = None,
+    ) -> None:
+        if not self.alive or (generation is not None and generation != self.generation):
+            return
+        if response.request_id not in self.routing:
+            # The route predates a crash/restart; the client's retry
+            # already travels under a fresh id.
+            self.stale_responses += 1
+            return
         reply, response_key = self.routing.consume(response.request_id)
         wrapped = protocol.ua_wrap_response(
             self.runtime.provider, self.runtime.config, response_key, response
@@ -260,6 +350,10 @@ class ItemAnonymizer:
     responses_processed: int = 0
     #: Crash-stop failure flag (see :class:`UserAnonymizer`).
     alive: bool = True
+    #: Restart generation (see :class:`UserAnonymizer`).
+    generation: int = 0
+    transform_errors: int = 0
+    stale_responses: int = 0
 
     def __post_init__(self) -> None:
         if self.node is None:
@@ -287,9 +381,27 @@ class ItemAnonymizer:
 
     # -- request path --------------------------------------------------
 
-    def fail(self) -> None:
-        """Crash-stop this instance."""
+    def fail(self) -> int:
+        """Crash-stop this instance (drops its buffered response batch).
+        Returns the number of buffered entries drained."""
         self.alive = False
+        if self.response_buffer is not None:
+            return self.response_buffer.drain()
+        return 0
+
+    def restart(self, enclave: Enclave) -> None:
+        """Come back from a crash (see :meth:`UserAnonymizer.restart`)."""
+        if self.alive:
+            raise RuntimeError(f"instance {self.name!r} is alive; nothing to restart")
+        if not enclave.attested:
+            raise ValueError(
+                f"enclave {enclave.name!r} must complete attestation and "
+                "provisioning before it can serve"
+            )
+        self.generation += 1
+        self.enclave = enclave
+        self.routing = RoutingTable(name=f"T-ia-g{self.generation}")
+        self.alive = True
 
     def receive_request(self, request: Request, reply: ReplyFn) -> None:
         """Entry point for a UA-forwarded request."""
@@ -298,18 +410,34 @@ class ItemAnonymizer:
         service_time = self.runtime.costs.ia_request_leg(
             self.runtime.config, len(self.routing), self.enclave.performance_penalty
         )
+        generation = self.generation
         self.node.submit(
-            service_time, lambda: self._forward(request, reply, service_time)
+            service_time, lambda: self._forward(request, reply, service_time, generation)
         )
 
-    def _forward(self, request: Request, reply: ReplyFn, service_time: float = 0.0) -> None:
+    def _forward(
+        self,
+        request: Request,
+        reply: ReplyFn,
+        service_time: float = 0.0,
+        generation: Optional[int] = None,
+    ) -> None:
+        if not self.alive or (generation is not None and generation != self.generation):
+            return
         ecalls_before = self.enclave.ecall_count
-        keys = (
-            self._keys_for(_tenant_of(request)) if self.runtime.config.encryption else None
-        )
-        transformed, context = protocol.ia_transform_request(
-            self.runtime.provider, keys, self.runtime.config, request, self.address
-        )
+        try:
+            keys = (
+                self._keys_for(_tenant_of(request))
+                if self.runtime.config.encryption
+                else None
+            )
+            transformed, context = protocol.ia_transform_request(
+                self.runtime.provider, keys, self.runtime.config, request, self.address
+            )
+        except Exception as exc:
+            self.transform_errors += 1
+            reply(transform_error_response(request, exc))
+            return
         self.routing.register(request.request_id, (reply, context))
         self.requests_processed += 1
         backend = self._pick_backend(request)
@@ -373,9 +501,12 @@ class ItemAnonymizer:
             item_count,
             self.enclave.performance_penalty,
         )
+        generation = self.generation
         self.node.submit(
             service_time,
-            lambda: self._return_to_ua(response, service_time, shuffle_wait, item_count),
+            lambda: self._return_to_ua(
+                response, service_time, shuffle_wait, item_count, generation
+            ),
         )
 
     def _pick_backend(self, request: Request):
@@ -389,15 +520,32 @@ class ItemAnonymizer:
         service_time: float = 0.0,
         shuffle_wait: float = 0.0,
         item_count: int = 0,
+        generation: Optional[int] = None,
     ) -> None:
+        if not self.alive or (generation is not None and generation != self.generation):
+            return
+        if response.request_id not in self.routing:
+            self.stale_responses += 1
+            return
         reply, context = self.routing.consume(response.request_id)
         ecalls_before = self.enclave.ecall_count
-        keys = (
-            self._keys_for(context.tenant) if self.runtime.config.encryption else None
-        )
-        transformed = protocol.ia_transform_response(
-            self.runtime.provider, keys, self.runtime.config, context, response
-        )
+        try:
+            keys = (
+                self._keys_for(context.tenant) if self.runtime.config.encryption else None
+            )
+            transformed = protocol.ia_transform_response(
+                self.runtime.provider, keys, self.runtime.config, context, response
+            )
+        except Exception as exc:
+            self.transform_errors += 1
+            reply(
+                Response(
+                    status=RETRYABLE_STATUS,
+                    fields={"retryable": True, "error": type(exc).__name__},
+                    request_id=response.request_id,
+                )
+            )
+            return
         self.responses_processed += 1
         self.enclave.ocall()
         telemetry = self.runtime.telemetry

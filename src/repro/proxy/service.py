@@ -9,8 +9,9 @@ breach response (key rotation).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.crypto.keys import KeyFactory, LayerKeys
 from repro.crypto.provider import CryptoProvider, SimCryptoProvider
@@ -25,8 +26,15 @@ from repro.simnet.clock import EventLoop
 from repro.simnet.loadbalancer import LoadBalancer, make_policy
 from repro.simnet.network import Network
 from repro.simnet.rng import RngRegistry
+from repro.telemetry.types import TelemetryLike
 
-__all__ = ["PProxService", "build_pprox", "UA_CODE_IDENTITY", "IA_CODE_IDENTITY"]
+__all__ = [
+    "PProxService",
+    "build_pprox",
+    "build_service",
+    "UA_CODE_IDENTITY",
+    "IA_CODE_IDENTITY",
+]
 
 #: Code identities measured into the enclaves of each layer.
 UA_CODE_IDENTITY = "pprox-user-anonymizer-v1.0"
@@ -53,11 +61,13 @@ class PProxService:
     runtime: ProxyRuntime
     provisioner: KeyProvisioner
     attestation: AttestationService
+    ua_balancer: LoadBalancer
+    ia_balancer: LoadBalancer
+    lrs_picker: Callable[[], object]
     ua_instances: List[UserAnonymizer] = field(default_factory=list)
     ia_instances: List[ItemAnonymizer] = field(default_factory=list)
-    ua_balancer: LoadBalancer = None  # type: ignore[assignment]
-    ia_balancer: LoadBalancer = None  # type: ignore[assignment]
-    lrs_picker: Callable[[], object] = None  # type: ignore[assignment]
+    #: Instance restarts performed (failover bookkeeping).
+    restarts: int = 0
 
     @property
     def config(self) -> PProxConfig:
@@ -124,6 +134,39 @@ class PProxService:
         self.runtime.network.register_role(instance.address, "ia")
         return instance
 
+    # -- failure recovery ----------------------------------------------
+
+    def restart_instance(
+        self, instance: Union[UserAnonymizer, ItemAnonymizer]
+    ) -> Union[UserAnonymizer, ItemAnonymizer]:
+        """Bring a crashed instance back into service.
+
+        Models the Kubernetes restart of a failed enclave pod: a fresh
+        enclave is created, measured, remotely attested and
+        re-provisioned with the layer's keys via the *same*
+        :class:`KeyProvisioner` flow as initial deployment — all
+        *before* the instance flips alive again, so a health probe can
+        never readmit an instance whose enclave has not completed
+        attestation.  Readmission to the balancer is the health
+        monitor's job (or the caller's, via ``readmit``).
+        """
+        if instance in self.ua_instances:
+            layer, identity = "UA", UA_CODE_IDENTITY
+        elif instance in self.ia_instances:
+            layer, identity = "IA", IA_CODE_IDENTITY
+        else:
+            raise ValueError(f"instance {instance.name!r} is not part of this service")
+        next_generation = instance.generation + 1
+        enclave = Enclave(
+            name=f"{instance.name}-enclave-g{next_generation}",
+            measurement=EnclaveMeasurement.of_code(identity),
+            host_node=f"node-{instance.name}-g{next_generation}",
+        )
+        self.provisioner.provision(layer, enclave)
+        instance.restart(enclave)
+        self.restarts += 1
+        return instance
+
     # -- breach response (footnote 1) ----------------------------------
 
     def rotate_layer(self, layer: str, factory: KeyFactory) -> LayerKeys:
@@ -155,7 +198,8 @@ class PProxService:
         return new_keys
 
 
-def build_pprox(
+def build_service(
+    *,
     loop: EventLoop,
     network: Network,
     rng: RngRegistry,
@@ -164,14 +208,18 @@ def build_pprox(
     provider: Optional[CryptoProvider] = None,
     costs: ProxyCostModel = DEFAULT_COSTS,
     rsa_bits: int = 1024,
-    telemetry: Optional[object] = None,
+    telemetry: Optional[TelemetryLike] = None,
 ) -> PProxService:
-    """Deploy a PProx service according to *config*.
+    """Deploy a PProx service according to *config* (keyword-only core).
 
     Performs the full bootstrap: layer key generation by the client
     application, enclave creation on dedicated nodes, attestation and
     provisioning, and load-balancer wiring.  *lrs_picker* returns the
     LRS backend (stub or Harness frontend) for each outgoing request.
+
+    Prefer :meth:`repro.context.Deployment.build`, which bundles the
+    simulation substrate into a :class:`repro.context.SimContext` and
+    also hands out matching clients.
     """
     if provider is None:
         provider = SimCryptoProvider(rng_bytes=rng.bytes_fn("provider"))
@@ -221,3 +269,81 @@ def build_pprox(
     for _ in range(config.ua_instances):
         service.scale_ua()
     return service
+
+
+def _looks_like_context(candidate: Any) -> bool:
+    """Duck-check for a :class:`repro.context.SimContext`.
+
+    Structural on purpose: importing ``repro.context`` here would close
+    an import cycle (context imports this module for the assembly
+    core).  An :class:`EventLoop` has none of these attributes, so the
+    old positional bundle can never be mistaken for a context.
+    """
+    return all(
+        hasattr(candidate, attr) for attr in ("loop", "network", "rng", "costs")
+    )
+
+
+_OLD_BUILD_PARAMS = (
+    "loop", "network", "rng", "config", "lrs_picker",
+    "provider", "costs", "rsa_bits", "telemetry",
+)
+
+
+def build_pprox(*args: Any, **kwargs: Any) -> PProxService:
+    """Deploy a PProx service — context-based or legacy signature.
+
+    New form (preferred)::
+
+        build_pprox(ctx, config, lrs_picker, rsa_bits=1024)
+
+    where *ctx* is a :class:`repro.context.SimContext` carrying the
+    loop, network, RNG registry, crypto provider, cost model and
+    telemetry hub.  The legacy positional bundle ::
+
+        build_pprox(loop, network, rng, config, lrs_picker,
+                    provider=None, costs=DEFAULT_COSTS,
+                    rsa_bits=1024, telemetry=None)
+
+    still works but emits :class:`DeprecationWarning`; both produce
+    identical deployments for identical inputs.
+    """
+    first = args[0] if args else kwargs.get("ctx")
+    if first is not None and _looks_like_context(first):
+        merged: Dict[str, Any] = dict(zip(("ctx", "config", "lrs_picker"), args))
+        duplicated = set(merged) & set(kwargs)
+        if duplicated:
+            raise TypeError(f"build_pprox got multiple values for {sorted(duplicated)}")
+        merged.update(kwargs)
+        ctx = merged.pop("ctx")
+        config = merged.pop("config")
+        lrs_picker = merged.pop("lrs_picker")
+        rsa_bits = merged.pop("rsa_bits", 1024)
+        if merged:
+            raise TypeError(
+                "unexpected arguments for context-based build_pprox: "
+                f"{sorted(merged)} (override provider/costs/telemetry on the context)"
+            )
+        return build_service(
+            loop=ctx.loop,
+            network=ctx.network,
+            rng=ctx.rng,
+            config=config,
+            lrs_picker=lrs_picker,
+            provider=ctx.provider,
+            costs=ctx.costs,
+            rsa_bits=rsa_bits,
+            telemetry=ctx.telemetry,
+        )
+    warnings.warn(
+        "build_pprox(loop, network, rng, ...) is deprecated; pass a "
+        "repro.context.SimContext (or use repro.context.Deployment.build)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    legacy: Dict[str, Any] = dict(zip(_OLD_BUILD_PARAMS, args))
+    overlap = set(legacy) & set(kwargs)
+    if overlap:
+        raise TypeError(f"build_pprox got multiple values for {sorted(overlap)}")
+    legacy.update(kwargs)
+    return build_service(**legacy)

@@ -43,6 +43,8 @@ class ShuffleBuffer:
     flushes: int = 0
     timer_flushes: int = 0
     entries_buffered: int = 0
+    drains: int = 0
+    entries_drained: int = 0
     last_flush_size: Optional[int] = None
     #: Wait time of the entry currently being released (valid only
     #: inside the ``release`` callback).
@@ -77,6 +79,26 @@ class ShuffleBuffer:
         if self._timer is None or self._timer.cancelled:
             return None
         return max(0.0, self._timer.time - now)
+
+    def drain(self) -> int:
+        """Discard the in-flight batch without releasing it.
+
+        Called when the owning instance dies: buffered requests are
+        lost (clients recover via timeout + retry), the armed timer is
+        cancelled so no flush fires on a dead instance, and
+        ``last_flush_size`` drops to 0 so the anonymity-set gauge
+        reflects the drained batch.  Returns the number of entries
+        discarded.
+        """
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        dropped = len(self._pending)
+        self._pending, self._enqueued_at = [], []
+        self.drains += 1
+        self.entries_drained += dropped
+        self.last_flush_size = 0
+        return dropped
 
     def _on_timer(self) -> None:
         self._timer = None

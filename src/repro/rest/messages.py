@@ -18,7 +18,7 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
-__all__ = ["Request", "Response", "Verb", "next_request_id"]
+__all__ = ["Request", "Response", "Verb", "make_get", "make_post", "next_request_id"]
 
 _REQUEST_IDS = itertools.count(1)
 

@@ -7,6 +7,8 @@ and workload layers are built on.
 
 from repro.simnet.clock import EventHandle, EventLoop, SimulationError
 from repro.simnet.loadbalancer import (
+    BalancerError,
+    BalancingPolicy,
     LeastPendingPolicy,
     LoadBalancer,
     RandomPolicy,
@@ -14,7 +16,7 @@ from repro.simnet.loadbalancer import (
     make_policy,
 )
 from repro.simnet.metrics import CandlestickSummary, LatencyRecorder, percentile, trim_window
-from repro.simnet.network import FlowRecord, LatencyModel, Network
+from repro.simnet.network import FaultDecision, FlowRecord, LatencyModel, Network
 from repro.simnet.node import NodeStats, SimNode
 from repro.simnet.queueing import ConcurrentQueue
 from repro.simnet.rng import RngRegistry
@@ -25,6 +27,8 @@ __all__ = [
     "EventHandle",
     "SimulationError",
     "LoadBalancer",
+    "BalancerError",
+    "BalancingPolicy",
     "RandomPolicy",
     "RoundRobinPolicy",
     "LeastPendingPolicy",
@@ -35,6 +39,7 @@ __all__ = [
     "trim_window",
     "Network",
     "FlowRecord",
+    "FaultDecision",
     "LatencyModel",
     "SimNode",
     "NodeStats",

@@ -13,7 +13,19 @@ import random
 from dataclasses import dataclass, field
 from typing import Generic, List, Protocol, Sequence, TypeVar
 
-__all__ = ["LoadBalancer", "RandomPolicy", "RoundRobinPolicy", "LeastPendingPolicy", "make_policy"]
+__all__ = [
+    "LoadBalancer",
+    "BalancerError",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "LeastPendingPolicy",
+    "BalancingPolicy",
+    "make_policy",
+]
+
+
+class BalancerError(RuntimeError):
+    """Raised on invalid pool operations (unknown backend, empty pool)."""
 
 
 class _HasPending(Protocol):
@@ -52,8 +64,13 @@ class RoundRobinPolicy(BalancingPolicy):
     name: str = field(default="round-robin", init=False)
 
     def choose(self, backends: Sequence[BackendT]) -> BackendT:
-        backend = backends[self._next % len(backends)]
-        self._next += 1
+        # Clamp the cursor when the pool shrank (backend ejected
+        # mid-rotation) so the rotation stays a pure cycle over the
+        # surviving pool rather than skipping members.
+        if self._next >= len(backends):
+            self._next = 0
+        backend = backends[self._next]
+        self._next = (self._next + 1) % len(backends)
         return backend
 
 
@@ -79,6 +96,8 @@ class LoadBalancer(Generic[BackendT]):
     policy: BalancingPolicy
     backends: List[BackendT] = field(default_factory=list)
     decisions: int = 0
+    ejections: int = 0
+    readmissions: int = 0
 
     def add(self, backend: BackendT) -> None:
         """Register a backend with the pool."""
@@ -86,12 +105,37 @@ class LoadBalancer(Generic[BackendT]):
 
     def remove(self, backend: BackendT) -> None:
         """Deregister a backend (elastic scale-down)."""
+        if backend not in self.backends:
+            raise BalancerError(
+                f"load balancer {self.name!r} has no backend "
+                f"{getattr(backend, 'name', backend)!r} to remove"
+            )
         self.backends.remove(backend)
+
+    def contains(self, backend: BackendT) -> bool:
+        """True when *backend* is currently in the pool."""
+        return backend in self.backends
+
+    def eject(self, backend: BackendT) -> bool:
+        """Health-driven removal; returns False if already absent."""
+        if backend not in self.backends:
+            return False
+        self.backends.remove(backend)
+        self.ejections += 1
+        return True
+
+    def readmit(self, backend: BackendT) -> bool:
+        """Re-add a recovered backend; returns False if already pooled."""
+        if backend in self.backends:
+            return False
+        self.backends.append(backend)
+        self.readmissions += 1
+        return True
 
     def pick(self) -> BackendT:
         """Choose a backend for the next request."""
         if not self.backends:
-            raise RuntimeError(f"load balancer {self.name!r} has no backends")
+            raise BalancerError(f"load balancer {self.name!r} has no backends")
         self.decisions += 1
         return self.policy.choose(self.backends)
 

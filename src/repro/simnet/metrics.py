@@ -29,7 +29,11 @@ def percentile(sorted_samples: Sequence[float], fraction: float) -> float:
     if lower == upper:
         return sorted_samples[lower]
     weight = position - lower
-    return sorted_samples[lower] * (1 - weight) + sorted_samples[upper] * weight
+    lower_value = sorted_samples[lower]
+    # lerp via the delta form: exact when both endpoints are equal
+    # (the a*(1-w)+b*w form can round away from a == b and push an
+    # interpolated quartile above the data's own maximum).
+    return lower_value + weight * (sorted_samples[upper] - lower_value)
 
 
 @dataclass(frozen=True)
@@ -99,6 +103,10 @@ class LatencyRecorder:
         high_bound = p75 + 1.5 * iqr
         whisker_low = min(v for v in data if v >= low_bound)
         whisker_high = max(v for v in data if v <= high_bound)
+        # Exact-summation mean, clamped to the data range: the final
+        # division can round 1 ulp past min/max (e.g. three identical
+        # samples), and a mean outside its own data is nonsense.
+        mean = min(max(math.fsum(data) / len(data), data[0]), data[-1])
         return CandlestickSummary(
             p25=p25,
             median=median,
@@ -106,7 +114,7 @@ class LatencyRecorder:
             whisker_low=whisker_low,
             whisker_high=whisker_high,
             count=len(data),
-            mean=sum(data) / len(data),
+            mean=mean,
             p99=percentile(data, 0.99),
             maximum=data[-1],
         )

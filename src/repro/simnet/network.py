@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.simnet.clock import EventLoop
 
-__all__ = ["Network", "FlowRecord", "LatencyModel", "UNKNOWN_ROLE"]
+__all__ = ["Network", "FlowRecord", "FaultDecision", "LatencyModel", "UNKNOWN_ROLE"]
 
 #: Role assigned to addresses nobody registered.  Explicit, so
 #: downstream classifiers never silently lump strangers into ``lrs``.
@@ -40,6 +40,25 @@ class FlowRecord:
     flow_id: int
     source_role: str = UNKNOWN_ROLE
     destination_role: str = UNKNOWN_ROLE
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """Verdict of a fault filter for one transmission.
+
+    ``drop`` loses the message after the adversary tap has seen it (a
+    dropped packet is still observable on the wire); ``extra_delay``
+    adds seconds on top of the sampled latency (delay spike / congested
+    path).
+    """
+
+    drop: bool = False
+    extra_delay: float = 0.0
+
+
+#: A filter consulted once per :meth:`Network.send`; ``None`` verdicts
+#: mean "no fault".
+FaultFilter = Callable[[FlowRecord], Optional[FaultDecision]]
 
 
 @dataclass
@@ -75,6 +94,11 @@ class Network:
     _flow_counter: int = 0
     messages_sent: int = 0
     bytes_sent: int = 0
+    messages_dropped: int = 0
+    #: Optional fault hook (set by the fault injector): may drop the
+    #: message or stretch its delivery.  Faults act *after* the
+    #: adversary tap — a lost packet was still on the wire.
+    fault_filter: Optional[FaultFilter] = None
     #: Operator-side role directory: address -> ua/ia/lrs/client/...
     #: Populated at deployment time (service assembly, client attach),
     #: NOT inferred from address spelling.
@@ -135,7 +159,15 @@ class Network:
             wiretap(record, payload)
         self.messages_sent += 1
         self.bytes_sent += size_bytes
-        delay = self.latency.sample(size_bytes, self.rng) + extra_delay
+        fault_delay = 0.0
+        if self.fault_filter is not None:
+            decision = self.fault_filter(record)
+            if decision is not None:
+                if decision.drop:
+                    self.messages_dropped += 1
+                    return flow_id
+                fault_delay = decision.extra_delay
+        delay = self.latency.sample(size_bytes, self.rng) + extra_delay + fault_delay
         self.loop.schedule(delay, lambda: on_deliver(payload))
         return flow_id
 

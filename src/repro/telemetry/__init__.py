@@ -31,6 +31,7 @@ from repro.telemetry.instruments import (
     instrument_injector,
     instrument_lrs,
     instrument_network,
+    instrument_recovery,
     instrument_service,
     instrument_stack,
 )
@@ -44,9 +45,12 @@ from repro.telemetry.registry import (
     TimeSeries,
 )
 from repro.telemetry.spans import PIPELINE_STAGES, Span, Tracer
+from repro.telemetry.types import TelemetryLike, TracerLike
 
 __all__ = [
     "Telemetry",
+    "TelemetryLike",
+    "TracerLike",
     "EventLog",
     "TelemetryEvent",
     "RedactionPolicy",
@@ -67,4 +71,5 @@ __all__ = [
     "instrument_lrs",
     "instrument_injector",
     "instrument_network",
+    "instrument_recovery",
 ]

@@ -34,6 +34,7 @@ __all__ = [
     "instrument_lrs",
     "instrument_injector",
     "instrument_network",
+    "instrument_recovery",
     "instrument_stack",
 ]
 
@@ -92,6 +93,12 @@ def instrument_service(telemetry: Any, service: Any) -> None:
                 "Enclave exit transitions (outbound sends).",
                 labels,
                 callback=lambda inst=instance: getattr(inst.enclave, "ocall_count", 0),
+            )
+            registry.gauge(
+                "pprox_instance_up",
+                "1 while the proxy instance is alive, 0 after a crash.",
+                labels,
+                callback=lambda inst=instance: 1 if inst.alive else 0,
             )
 
     for balancer in (service.ua_balancer, service.ia_balancer):
@@ -260,6 +267,75 @@ def instrument_network(telemetry: Any, network: Any) -> None:
         "Serialized payload bytes carried by the simulated network.",
         callback=lambda: network.bytes_sent,
     )
+    registry.counter(
+        "pprox_network_dropped_total",
+        "Messages lost to injected faults (partitions, loss windows).",
+        callback=lambda: network.messages_dropped,
+    )
+
+
+def instrument_recovery(
+    telemetry: Any,
+    *,
+    monitor: Any = None,
+    client: Any = None,
+    supervisor: Any = None,
+) -> None:
+    """Register failover/recovery instruments over the chaos plumbing.
+
+    *monitor* is a :class:`repro.cluster.health.HealthMonitor` (which
+    also feeds the ``pprox_recovery_seconds`` histogram directly, at
+    readmission time), *client* a :class:`repro.client.library.
+    PProxClient` with per-call outcome counters, *supervisor* a
+    :class:`repro.faults.supervisor.FaultSupervisor`.
+    """
+    registry = telemetry.registry
+    if monitor is not None:
+        registry.counter(
+            "pprox_failovers_total",
+            "Dead backends ejected from a load balancer by health probes.",
+            callback=lambda: monitor.failovers,
+        )
+        registry.counter(
+            "pprox_readmissions_total",
+            "Recovered backends readmitted to a load balancer.",
+            callback=lambda: len(monitor.readmitted),
+        )
+    if client is not None:
+        for outcome in getattr(client, "outcomes", {}):
+            registry.counter(
+                "pprox_request_outcome",
+                "Completed client calls by outcome class.",
+                {"outcome": outcome},
+                callback=lambda cl=client, oc=outcome: cl.outcomes[oc],
+            )
+        registry.counter(
+            "pprox_client_retryable_errors_total",
+            "Retryable error responses seen by the client library.",
+            callback=lambda: client.retryable_errors,
+        )
+        registry.counter(
+            "pprox_client_hedges_total",
+            "Hedged attempts launched by the client library.",
+            callback=lambda: client.hedges_launched,
+        )
+    if supervisor is not None:
+        registry.counter(
+            "pprox_faults_injected_total",
+            "Enclave crashes injected by the fault supervisor.",
+            {"kind": "crash"},
+            callback=lambda: supervisor.crashes_injected,
+        )
+        registry.counter(
+            "pprox_fault_windows_total",
+            "Network/LRS fault windows opened by the fault supervisor.",
+            callback=lambda: supervisor.windows_opened,
+        )
+        registry.counter(
+            "pprox_fault_restarts_total",
+            "Crashed instances restarted (re-attested, re-provisioned).",
+            callback=lambda: supervisor.restarts_completed,
+        )
 
 
 def instrument_stack(
@@ -270,6 +346,9 @@ def instrument_stack(
     lrs: Any = None,
     injector: Any = None,
     network: Any = None,
+    monitor: Any = None,
+    client: Any = None,
+    supervisor: Any = None,
 ) -> None:
     """Instrument whichever stack components the caller has on hand."""
     if service is not None:
@@ -282,3 +361,7 @@ def instrument_stack(
         instrument_injector(telemetry, injector)
     if network is not None:
         instrument_network(telemetry, network)
+    if monitor is not None or client is not None or supervisor is not None:
+        instrument_recovery(
+            telemetry, monitor=monitor, client=client, supervisor=supervisor
+        )

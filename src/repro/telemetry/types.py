@@ -1,0 +1,59 @@
+"""Structural types for telemetry consumers.
+
+The data-plane modules (proxy layers, client library, runners, health
+probes) accept an *optional* telemetry hub.  Annotating those slots
+``Optional[object]`` hid the contract; these Protocols spell out the
+surface the stack actually relies on without making any package import
+:mod:`repro.telemetry.hub` (or vice versa) — structural typing keeps
+the dependency graph acyclic: any object with these members, including
+the real :class:`repro.telemetry.Telemetry`, satisfies them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Protocol, runtime_checkable
+
+__all__ = ["TracerLike", "TelemetryLike"]
+
+
+@runtime_checkable
+class TracerLike(Protocol):
+    """The span-tracer surface the pipeline hot path calls."""
+
+    def record_hop(self, request_id: int, source_role: str, destination_role: str) -> None:
+        """Mark a wire hop between pipeline roles."""
+        ...
+
+    def annotate(self, request_id: int, **attributes: Any) -> None:
+        """Attach attributes to the currently open span."""
+        ...
+
+    def end_trace(self, request_id: int, ok: bool) -> None:
+        """Settle the trace when the client-side call completes."""
+        ...
+
+    def abandon(self, request_id: int) -> None:
+        """Discard an attempt's trace (timeout, lost hedge)."""
+        ...
+
+
+@runtime_checkable
+class TelemetryLike(Protocol):
+    """The hub surface plumbed through the stack.
+
+    Attribute requirements (``tracer``, ``registry``) are structural:
+    any facade exposing them plus the two methods below — above all
+    :class:`repro.telemetry.Telemetry` — satisfies this Protocol.
+    """
+
+    tracer: TracerLike
+    registry: Any
+    event_log: Any
+
+    def now(self) -> float:
+        """Current virtual time of the bound event loop."""
+        ...
+
+    def emit_fault(self, role: str, payload: Dict[str, Any]) -> None:
+        """Record a structured chaos/fault event."""
+        ...

@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Protocol, Tuple
 
 from repro.simnet.clock import EventLoop
 from repro.simnet.metrics import CandlestickSummary, LatencyRecorder, trim_window
+from repro.telemetry.types import TelemetryLike
 from repro.workload.injector import InjectionReport, Injector
 from repro.workload.movielens import SyntheticMovieLens
 
@@ -104,7 +105,7 @@ class TwoPhaseScenario:
     #: Optional :class:`repro.telemetry.Telemetry` hub: phase
     #: transitions land in the structured event log and the query
     #: injector feeds the latency histogram.
-    telemetry: Optional[object] = None
+    telemetry: Optional[TelemetryLike] = None
 
     def _emit_phase(self, phase: str, **payload) -> None:
         if self.telemetry is not None:

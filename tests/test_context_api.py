@@ -1,0 +1,151 @@
+"""SimContext / Deployment facade: equivalence with the legacy API."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.client import PProxClient
+from repro.context import Deployment, SimContext
+from repro.crypto.provider import FastCryptoProvider, SimCryptoProvider
+from repro.lrs.stub import StubLrs, make_pseudonymous_payload
+from repro.proxy import PProxConfig, build_pprox
+from repro.proxy.costs import DEFAULT_COSTS
+from repro.simnet.clock import EventLoop
+from repro.simnet.network import Network
+from repro.simnet.rng import RngRegistry
+
+CONFIG = PProxConfig(shuffle_size=0, ua_instances=2, ia_instances=2)
+
+
+def _run_gets(loop, client, count=12):
+    results = []
+    for index in range(count):
+        client.get(f"user-{index}", on_complete=results.append)
+    loop.run()
+    return [(r.ok, tuple(r.items), r.latency) for r in results]
+
+
+def _legacy_stack(seed):
+    rng = RngRegistry(seed=seed)
+    loop = EventLoop()
+    network = Network(loop=loop, rng=rng.stream("net"), record_flows=False)
+    stub = StubLrs(loop=loop, rng=rng.stream("stub"))
+    provider = FastCryptoProvider(rng_bytes=rng.bytes_fn("crypto"))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        service = build_pprox(
+            loop, network, rng, CONFIG, lrs_picker=lambda: stub, provider=provider
+        )
+        stub.items = make_pseudonymous_payload(
+            provider, service.provisioner.layer_keys["IA"].symmetric_key
+        )
+        client = PProxClient(
+            loop=loop, network=network, provider=provider, service=service,
+            costs=DEFAULT_COSTS, rng=rng.stream("client"),
+        )
+    return loop, service, client
+
+
+def _context_stack(seed):
+    ctx = SimContext.fresh(seed)
+    ctx.provider = FastCryptoProvider(rng_bytes=ctx.rng.bytes_fn("crypto"))
+    stub = StubLrs(loop=ctx.loop, rng=ctx.rng.stream("stub"))
+    deployment = Deployment.build(ctx=ctx, config=CONFIG, lrs_picker=lambda: stub)
+    stub.items = make_pseudonymous_payload(
+        ctx.provider,
+        deployment.service.provisioner.layer_keys["IA"].symmetric_key,
+    )
+    return ctx.loop, deployment.service, deployment.client()
+
+
+def test_context_and_legacy_builds_are_equivalent():
+    # Same seed, same config: the context facade must produce the exact
+    # run the legacy positional bundle produced (RNG streams are
+    # name-keyed, so construction order cannot skew them).
+    legacy = _run_gets(*_legacy_stack(99)[::2])
+    fresh = _run_gets(*_context_stack(99)[::2])
+    assert legacy == fresh
+
+
+def test_legacy_build_pprox_emits_deprecation_warning():
+    rng = RngRegistry(seed=5)
+    loop = EventLoop()
+    network = Network(loop=loop, rng=rng.stream("net"))
+    stub = StubLrs(loop=loop, rng=rng.stream("stub"))
+    with pytest.warns(DeprecationWarning):
+        build_pprox(loop, network, rng, CONFIG, lrs_picker=lambda: stub)
+
+
+def test_legacy_client_signature_emits_deprecation_warning():
+    loop, service, _ = _context_stack(6)
+    with pytest.warns(DeprecationWarning):
+        PProxClient(
+            loop=loop, network=service.runtime.network,
+            provider=SimCryptoProvider(), service=service,
+            costs=DEFAULT_COSTS, rng=RngRegistry(seed=1).stream("client"),
+        )
+
+
+def test_context_client_signature_emits_no_warning():
+    ctx = SimContext.fresh(11)
+    stub = StubLrs(loop=ctx.loop, rng=ctx.rng.stream("stub"))
+    deployment = Deployment.build(ctx=ctx, config=CONFIG, lrs_picker=lambda: stub)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        PProxClient(ctx, deployment.service)
+
+
+def test_build_pprox_accepts_context_positionally():
+    ctx = SimContext.fresh(12)
+    stub = StubLrs(loop=ctx.loop, rng=ctx.rng.stream("stub"))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        service = build_pprox(ctx, CONFIG, lrs_picker=lambda: stub)
+    assert len(service.ua_instances) == CONFIG.ua_instances
+
+
+def test_conflicting_positional_and_keyword_args_raise():
+    ctx = SimContext.fresh(13)
+    stub = StubLrs(loop=ctx.loop, rng=ctx.rng.stream("stub"))
+    with pytest.raises(TypeError):
+        build_pprox(ctx, CONFIG, config=CONFIG, lrs_picker=lambda: stub)
+
+
+def test_resolved_provider_is_memoized():
+    ctx = SimContext.fresh(14)
+    assert ctx.provider is None
+    provider = ctx.resolved_provider()
+    assert ctx.resolved_provider() is provider
+    assert ctx.provider is provider
+
+
+def test_with_provider_returns_copy():
+    ctx = SimContext.fresh(15)
+    provider = SimCryptoProvider()
+    other = ctx.with_provider(provider)
+    assert other is not ctx
+    assert other.provider is provider
+    assert ctx.provider is None
+    assert other.loop is ctx.loop
+
+
+def test_deployment_client_passes_options_through():
+    ctx = SimContext.fresh(16)
+    stub = StubLrs(loop=ctx.loop, rng=ctx.rng.stream("stub"))
+    deployment = Deployment.build(ctx=ctx, config=CONFIG, lrs_picker=lambda: stub)
+    client = deployment.client(request_timeout=0.7, max_retries=3, hedge_delay=0.2)
+    assert client.request_timeout == 0.7
+    assert client.max_retries == 3
+    assert client.hedge_delay == 0.2
+    assert client.provider is ctx.provider
+
+
+def test_deployment_health_monitor_binds_service():
+    ctx = SimContext.fresh(17)
+    stub = StubLrs(loop=ctx.loop, rng=ctx.rng.stream("stub"))
+    deployment = Deployment.build(ctx=ctx, config=CONFIG, lrs_picker=lambda: stub)
+    monitor = deployment.health_monitor(interval=0.5)
+    assert monitor.service is deployment.service
+    assert monitor.interval == 0.5

@@ -157,9 +157,18 @@ def test_hardened_hop_end_to_end():
     assert get_result.items
 
 
-def test_unknown_response_id_raises():
+def test_unknown_response_id_counted_as_stale_and_dropped():
+    # A response whose route is gone (e.g. it predates a crash/restart)
+    # must not crash the instance: it is counted and dropped, and the
+    # client recovers via timeout + retry.
     loop, _, _, service, client = _stack(NOSHUF)
     from repro.rest.messages import Response
 
+    ua = service.ua_instances[0]
+    ua._return_to_client(Response(status=200, request_id=424242))
+    assert ua.stale_responses == 1
+    assert ua.alive
+
+    # Direct consumption of an unknown route still raises.
     with pytest.raises(RoutingError):
-        service.ua_instances[0]._return_to_client(Response(status=200, request_id=424242))
+        ua.routing.consume(424242)

@@ -97,6 +97,31 @@ def test_invalid_parameters_rejected():
         ShuffleBuffer(loop=loop, rng=random.Random(), size=2, timeout=0.0, release=print)
 
 
+def test_drain_discards_batch_and_cancels_timer():
+    """An instance crash drains the buffer: nothing is released, the
+    armed timeout never fires, and the drain is counted."""
+    loop, buffer, released = _buffer(size=5, timeout=1.0)
+    buffer.add("a")
+    buffer.add("b")
+    assert buffer.drain() == 2
+    assert released == []
+    assert buffer.pending == 0
+    assert buffer.drains == 1
+    assert buffer.entries_drained == 2
+    assert buffer.last_flush_size == 0
+    loop.run()  # the cancelled timer must not flush ghosts
+    assert released == []
+
+
+def test_buffer_usable_again_after_drain():
+    loop, buffer, released = _buffer(size=2)
+    buffer.add("a")
+    buffer.drain()
+    buffer.add("x")
+    buffer.add("y")
+    assert sorted(released) == ["x", "y"]
+
+
 def test_every_permutation_is_reachable():
     """With enough batches, all 3! = 6 permutations of a 3-batch occur
     — the uniformity the 1/S anonymity argument needs."""

@@ -9,6 +9,7 @@ from dataclasses import dataclass
 import pytest
 
 from repro.simnet.loadbalancer import (
+    BalancerError,
     LeastPendingPolicy,
     LoadBalancer,
     RandomPolicy,
@@ -91,3 +92,38 @@ def test_make_policy_by_name(name):
 def test_make_policy_rejects_unknown():
     with pytest.raises(ValueError, match="unknown"):
         make_policy("weighted", random.Random(1))
+
+
+def test_remove_missing_backend_raises_clear_error():
+    balancer = LoadBalancer(name="ua-lb", policy=RoundRobinPolicy())
+    ghost = FakeBackend("ghost")
+    with pytest.raises(BalancerError, match="'ua-lb' has no backend 'ghost'"):
+        balancer.remove(ghost)
+
+
+def test_round_robin_survives_eject_mid_rotation():
+    """Health-driven ejection while the cursor points past the end.
+
+    With 3 backends and the cursor on b2, ejecting b2 shrinks the pool
+    to 2; the next pick must wrap cleanly instead of indexing out of
+    range, and rotation must stay a pure cycle over the survivors.
+    """
+    balancer = LoadBalancer(name="lb", policy=RoundRobinPolicy())
+    backends = [FakeBackend(f"b{i}") for i in range(3)]
+    for backend in backends:
+        balancer.add(backend)
+    balancer.pick()  # b0
+    balancer.pick()  # b1 -> cursor now points at b2
+    assert balancer.eject(backends[2])
+    assert balancer.ejections == 1
+    picks = [balancer.pick().name for _ in range(4)]
+    assert picks == ["b0", "b1", "b0", "b1"]
+
+
+def test_eject_absent_backend_is_idempotent():
+    balancer = LoadBalancer(name="lb", policy=RoundRobinPolicy())
+    backend = FakeBackend("b0")
+    balancer.add(backend)
+    assert balancer.eject(backend)
+    assert not balancer.eject(backend)  # second eject: no-op, no raise
+    assert balancer.ejections == 1

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Public-API lint: every module under ``src/repro`` must declare
+``__all__``, and ``__all__`` must be complete and honest.
+
+Checked per module:
+
+* ``__all__`` exists and is a literal list/tuple of strings.
+* Every public top-level ``def`` / ``class`` (no leading underscore)
+  appears in ``__all__`` — the export surface cannot silently grow.
+* Every ``__all__`` entry is actually defined or imported in the
+  module — no phantom exports.
+* No duplicate entries.
+
+Exit status 0 when clean; 1 with a per-module report otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def extract_all(tree: ast.Module) -> Optional[List[str]]:
+    """Return the literal ``__all__`` list, or None if absent."""
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                if not isinstance(value, (ast.List, ast.Tuple)):
+                    return None
+                names = []
+                for element in value.elts:
+                    if not isinstance(element, ast.Constant) or not isinstance(
+                        element.value, str
+                    ):
+                        return None
+                    names.append(element.value)
+                return names
+    return None
+
+
+def public_definitions(tree: ast.Module) -> Set[str]:
+    """Top-level public defs/classes (the must-export set)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not node.name.startswith("_"):
+                names.add(node.name)
+    return names
+
+
+def bound_names(tree: ast.Module) -> Set[str]:
+    """Every top-level name the module defines, assigns, or imports."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.If, ast.Try)):
+            # TYPE_CHECKING / fallback-import blocks: one level deep.
+            for child in ast.walk(node):
+                if isinstance(child, (ast.Import, ast.ImportFrom)):
+                    for alias in child.names:
+                        names.add((alias.asname or alias.name).split(".")[0])
+    return names
+
+
+def check_module(path: Path) -> List[str]:
+    """Return lint problems for one module (empty = clean)."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    exported = extract_all(tree)
+    if exported is None:
+        return ["missing (or non-literal) __all__"]
+    problems: List[str] = []
+    duplicates = {name for name in exported if exported.count(name) > 1}
+    if duplicates:
+        problems.append(f"duplicate __all__ entries: {sorted(duplicates)}")
+    missing = public_definitions(tree) - set(exported)
+    if missing:
+        problems.append(f"public but not in __all__: {sorted(missing)}")
+    phantom = set(exported) - bound_names(tree)
+    if phantom:
+        problems.append(f"in __all__ but never defined: {sorted(phantom)}")
+    return problems
+
+
+def main() -> int:
+    failures: Dict[str, List[str]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        problems = check_module(path)
+        if problems:
+            failures[str(path.relative_to(SRC.parent.parent))] = problems
+    if failures:
+        print("public-API lint failed:\n")
+        for module, problems in failures.items():
+            for problem in problems:
+                print(f"  {module}: {problem}")
+        print(f"\n{len(failures)} module(s) with problems")
+        return 1
+    count = sum(1 for _ in SRC.rglob("*.py"))
+    print(f"public-API lint OK ({count} modules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
