@@ -12,7 +12,13 @@ Subcommands:
   drops, delay spikes and an LRS brownout against a live deployment;
   asserts the availability floor, full recovery and a clean redaction
   audit, and writes the telemetry artifact (byte-identical across
-  same-seed invocations — CI diffs two runs).
+  same-seed invocations — CI diffs two runs);
+* ``overload-smoke``  — offered-load sweep at 0.5x/1x/2x capacity with
+  and without the overload-protection stack; asserts graceful
+  degradation (goodput retention, bounded p99), pre-shuffle-only
+  shedding (anonymity >= S*I), uniform rejects on protected hops and a
+  clean redaction audit; writes the goodput/latency/shed-rate artifact
+  (byte-identical across same-seed invocations — CI diffs two runs).
 """
 
 from __future__ import annotations
@@ -193,6 +199,60 @@ def _cmd_chaos_smoke(args) -> int:
     return 0
 
 
+def _cmd_overload_smoke(args) -> int:
+    """Offered-load sweep with graceful-degradation self-checks."""
+    from repro.experiments.overload import run_overload
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry(scrape_interval=1.0)
+    result = run_overload(
+        seed=args.seed,
+        duration=args.duration,
+        capacity_rps=args.capacity_rps,
+        telemetry=telemetry,
+    )
+    print("overload sweep summary")
+    print("======================")
+    print(f"  {'seed':14s} {result.seed}")
+    print(f"  {'capacity_rps':14s} {result.capacity_rps}")
+    print(f"  {'shuffle_size':14s} {result.shuffle_size}")
+    header = (
+        f"  {'offered':>8s} {'variant':>9s} {'issued':>7s} {'goodput':>8s}"
+        f" {'p50':>8s} {'p99':>8s} {'sheds':>6s} {'anon>=':>7s}"
+    )
+    print(header)
+    for point in result.points:
+        variant = "protect" if point.protected else "baseline"
+        anonymity = (
+            f"{point.anonymity_floor:.0f}/{point.required_anonymity:.0f}"
+            if point.min_flush_during_load is not None
+            else "-"
+        )
+        print(
+            f"  {point.offered_rps:8.1f} {variant:>9s} {point.issued:7d}"
+            f" {point.goodput_rps:8.2f} {point.p50_seconds:8.4f}"
+            f" {point.p99_seconds:8.4f} {point.shed_total:6d} {anonymity:>7s}"
+        )
+
+    paths = telemetry.write_artifact(args.telemetry_dir)
+    print(f"artifact: {paths['events']}")
+    print(f"artifact: {paths['metrics']}")
+
+    problems = result.problems()
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    saturation = result.point(protected=True, multiplier=1.0)
+    overloaded = result.point(protected=True, multiplier=2.0)
+    print(
+        f"overload smoke OK: goodput at 2x {overloaded.goodput_rps:.1f} rps"
+        f" (saturation {saturation.goodput_rps:.1f}),"
+        f" {overloaded.shed_total} sheds, anonymity floor held, audit clean"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -226,6 +286,16 @@ def main(argv=None) -> int:
     chaos.add_argument("--seed", type=int, default=7)
     chaos.add_argument("--availability-floor", type=float, default=0.9)
     chaos.set_defaults(fn=_cmd_chaos_smoke)
+    overload = subparsers.add_parser(
+        "overload-smoke", help="offered-load sweep with degradation checks"
+    )
+    overload.add_argument("--telemetry-dir", default="results/overload-smoke",
+                          help="directory for the telemetry.jsonl/.prom artifact")
+    overload.add_argument("--capacity-rps", type=float, default=85.0,
+                          help="estimated saturation rate the sweep multiplies")
+    overload.add_argument("--duration", type=float, default=6.0)
+    overload.add_argument("--seed", type=int, default=7)
+    overload.set_defaults(fn=_cmd_overload_smoke)
     args = parser.parse_args(argv)
     return args.fn(args)
 

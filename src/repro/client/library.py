@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.crypto.provider import CryptoProvider
+from repro.overload.deadline import stamp_deadline
 from repro.proxy import protocol
 from repro.proxy.config import PProxConfig
 from repro.proxy.costs import ProxyCostModel
@@ -108,6 +109,13 @@ class PProxClient:
     #: answer wins, the loser's trace is abandoned.  ``None`` disables
     #: hedging.  Hedges do not consume the retry budget.
     hedge_delay: Optional[float] = None
+    #: End-to-end time budget per call (seconds).  Each attempt —
+    #: original, retry or hedge — is stamped with the budget *remaining
+    #: at launch* (one shared expiry per call, so a hedge can never
+    #: double-spend), letting every hop shed the request once the
+    #: client has given up.  No retry is scheduled to land past the
+    #: expiry.  ``None`` disables deadline propagation.
+    deadline_budget: Optional[float] = None
     calls_started: int = 0
     calls_completed: int = 0
     retries_performed: int = 0
@@ -186,6 +194,7 @@ class PProxClient:
         backoff_factor: float = 2.0,
         backoff_jitter: float = 0.0,
         hedge_delay: Optional[float] = None,
+        deadline_budget: Optional[float] = None,
     ) -> None:
         self.loop = loop
         self.network = network
@@ -202,6 +211,7 @@ class PProxClient:
         self.backoff_factor = backoff_factor
         self.backoff_jitter = backoff_jitter
         self.hedge_delay = hedge_delay
+        self.deadline_budget = deadline_budget
         self.calls_started = 0
         self.calls_completed = 0
         self.retries_performed = 0
@@ -278,6 +288,14 @@ class PProxClient:
         telemetry = self.telemetry
         if address not in self.network.roles:
             self.network.register_role(address, "client")
+        # One expiry for the whole call: retries and hedges all draw
+        # down the same budget, so concurrent attempts cannot spend it
+        # twice.
+        expiry = (
+            started_at + self.deadline_budget
+            if self.deadline_budget is not None
+            else None
+        )
         encrypt_delay = self.costs.client_encrypt_seconds(self.config)
         call_state: Dict[str, Any] = {
             "settled": False,
@@ -320,10 +338,10 @@ class PProxClient:
                     )
                 )
 
-        def backoff_delay() -> float:
+        def backoff_delay(retry_number: int) -> float:
             if self.backoff_base <= 0:
                 return 0.0
-            exponent = max(0, call_state["retries"] - 1)
+            exponent = max(0, retry_number - 1)
             delay = self.backoff_base * (self.backoff_factor ** exponent)
             if self.backoff_jitter > 0:
                 delay += self.backoff_jitter * self.rng.random()
@@ -331,6 +349,14 @@ class PProxClient:
 
         def retry_after(previous: Request, previous_keys: protocol.CallKeys) -> None:
             """Re-issue the call under a fresh id, after backoff."""
+            delay = backoff_delay(call_state["retries"] + 1)
+            if expiry is not None and self.loop.now + delay >= expiry:
+                # The retry would launch with a spent budget; every hop
+                # would shed it on sight.  Settle instead of scheduling
+                # doomed work.
+                live_ids.discard(previous.request_id)
+                settle(False, [], previous.request_id)
+                return
             call_state["attempt"] += 1
             call_state["retries"] += 1
             self.retries_performed += 1
@@ -348,7 +374,6 @@ class PProxClient:
                 # routing table it traverses.
                 retry = replace(previous, request_id=next_request_id())
                 fresh_keys = previous_keys
-            delay = backoff_delay()
             if delay > 0:
                 self.loop.schedule(delay, lambda: attempt(retry, fresh_keys))
             else:
@@ -361,6 +386,18 @@ class PProxClient:
         ) -> None:
             if call_state["settled"]:
                 return
+            if expiry is not None:
+                remaining = expiry - self.loop.now
+                if remaining <= 0.0:
+                    # Budget spent before launch (e.g. the encrypt or
+                    # backoff delay consumed the rest).
+                    if hedged:
+                        return
+                    settle(False, [], attempt_request.request_id)
+                    return
+                # Stamp the budget remaining *now*: a hedge launched
+                # late carries less budget than the primary did.
+                attempt_request = stamp_deadline(attempt_request, remaining)
             attempt_index = call_state["attempt"]
             live_ids.add(attempt_request.request_id)
             try:

@@ -14,7 +14,7 @@ normal flow) or retiring them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.proxy.service import PProxService
 from repro.simnet.clock import EventLoop
@@ -49,6 +49,13 @@ class ElasticScaler:
     interval: float = 10.0
     min_instances: int = 1
     max_instances: int = 8
+    #: Scale a layer up when any live instance's ingress sojourn (its
+    #: :meth:`overload_signal`) exceeds this, even if the rate band
+    #: looks fine — standing queues mean the rate signal is lying
+    #: (shed requests never count as processed).  ``None`` disables
+    #: the overload trigger.
+    overload_sojourn_threshold: Optional[float] = None
+    overload_scale_ups: int = 0
     decisions: List[ScalingDecision] = field(default_factory=list)
     _last_counts: dict = field(default_factory=dict)
     _running: bool = False
@@ -87,11 +94,32 @@ class ElasticScaler:
             live = [i for i in instances if getattr(i, "alive", True)]
             processed = current[layer] - self._last_counts.get(layer, 0)
             rate = processed / self.interval / max(len(live), 1)
-            self._evaluate(layer, rate, len(live))
+            self._evaluate(layer, rate, len(live), live)
         self._snapshot()
         self.loop.schedule(self.interval, self._tick)
 
-    def _evaluate(self, layer: str, rate: float, count: int) -> None:
+    def _overloaded(self, live: List) -> bool:
+        if self.overload_sojourn_threshold is None:
+            return False
+        for instance in live:
+            signal_fn = getattr(instance, "overload_signal", None)
+            if signal_fn is None:
+                continue
+            if signal_fn().queue_sojourn > self.overload_sojourn_threshold:
+                return True
+        return False
+
+    def _evaluate(self, layer: str, rate: float, count: int, live: List = ()) -> None:
+        if self._overloaded(list(live)) and count < self.max_instances:
+            if layer == "UA":
+                self.service.scale_ua()
+            else:
+                self.service.scale_ia()
+            self.overload_scale_ups += 1
+            self.decisions.append(
+                ScalingDecision(self.loop.now, layer, "scale-up-overload", count + 1, rate)
+            )
+            return
         if rate > self.high_rps and count < self.max_instances:
             if layer == "UA":
                 self.service.scale_ua()

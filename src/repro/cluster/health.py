@@ -38,8 +38,13 @@ class HealthMonitor:
     #: structured ``fault`` events and the eject->readmit span feeds
     #: the ``pprox_recovery_seconds`` histogram.
     telemetry: Optional[TelemetryLike] = None
+    #: Flag an instance as overloaded (operator event) when its ingress
+    #: sojourn exceeds this; cleared when it drops back under.  ``None``
+    #: disables overload probing.
+    overload_sojourn_threshold: Optional[float] = None
     _running: bool = False
     _ejected_at: Dict[str, float] = field(default_factory=dict)
+    _overloaded_now: set = field(default_factory=set)
 
     def start(self) -> None:
         """Begin probing."""
@@ -84,7 +89,34 @@ class HealthMonitor:
                     balancer.readmit(instance)
                     self.readmitted.append(instance.name)
                     self._record_recovery(instance, balancer.name)
+                self._probe_overload(instance)
         self.loop.schedule(self.interval, self._probe)
+
+    def _probe_overload(self, instance) -> None:
+        """Edge-triggered operator events from the overload signal."""
+        if self.overload_sojourn_threshold is None:
+            return
+        signal_fn = getattr(instance, "overload_signal", None)
+        if signal_fn is None:
+            return
+        overloaded = (
+            instance.alive and signal_fn().queue_sojourn > self.overload_sojourn_threshold
+        )
+        was = instance.name in self._overloaded_now
+        if overloaded == was:
+            return
+        if overloaded:
+            self._overloaded_now.add(instance.name)
+        else:
+            self._overloaded_now.discard(instance.name)
+        if self.telemetry is not None:
+            self.telemetry.emit_fault(
+                "operator",
+                {
+                    "event": "instance_overloaded" if overloaded else "instance_overload_cleared",
+                    "instance": instance.name,
+                },
+            )
 
     def _record_recovery(self, instance, balancer_name: str) -> None:
         ejected_at = self._ejected_at.pop(instance.name, None)

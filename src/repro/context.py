@@ -20,6 +20,7 @@ from typing import Any, Callable, Optional
 
 from repro.client.library import PProxClient
 from repro.crypto.provider import CryptoProvider, SimCryptoProvider
+from repro.overload.policy import OverloadPolicy
 from repro.proxy.config import PProxConfig
 from repro.proxy.costs import DEFAULT_COSTS, ProxyCostModel
 from repro.proxy.service import PProxService, build_service
@@ -106,11 +107,14 @@ class Deployment:
         config: PProxConfig,
         lrs_picker: Callable[[], object],
         rsa_bits: int = 1024,
+        overload: Optional["OverloadPolicy"] = None,
     ) -> "Deployment":
         """Assemble a service from *ctx* (keyword-only).
 
         Equivalent to the legacy ``build_pprox(loop, network, rng,
-        config, lrs_picker, ...)`` call for the same inputs.
+        config, lrs_picker, ...)`` call for the same inputs.  Pass an
+        :class:`repro.overload.OverloadPolicy` as *overload* to arm
+        the overload-protection subsystem on every proxy instance.
         """
         provider = ctx.resolved_provider()
         service = build_service(
@@ -123,6 +127,7 @@ class Deployment:
             costs=ctx.costs,
             rsa_bits=rsa_bits,
             telemetry=ctx.telemetry,
+            overload=overload,
         )
         return cls(ctx=ctx, service=service, config=config)
 

@@ -16,6 +16,14 @@ from repro.experiments.chaos import (
     default_chaos_config,
     run_chaos,
 )
+from repro.experiments.overload import (
+    LoadPoint,
+    OverloadResult,
+    default_overload_config,
+    default_overload_policy,
+    overload_cost_model,
+    run_overload,
+)
 from repro.experiments.runner import RunResult, run_baseline, run_full, run_micro
 from repro.experiments.report import (
     render_figure,
@@ -39,6 +47,12 @@ __all__ = [
     "ChaosResult",
     "default_chaos_config",
     "run_chaos",
+    "LoadPoint",
+    "OverloadResult",
+    "default_overload_config",
+    "default_overload_policy",
+    "overload_cost_model",
+    "run_overload",
     "run_micro",
     "run_baseline",
     "run_full",

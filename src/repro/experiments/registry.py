@@ -160,6 +160,23 @@ EXPERIMENT_INDEX: Dict[str, Experiment] = {
             "same-seed chaos runs are deterministic",
         ),
     ),
+    "overload": Experiment(
+        identifier="overload",
+        title="Overload protection and graceful degradation",
+        workload="offered-load sweep at 0.5x/1x/2x capacity, protected vs unprotected",
+        modules=(
+            "repro.overload",
+            "repro.simnet.queueing",
+            "repro.experiments.overload",
+        ),
+        bench="tests/test_overload_scenario.py",
+        claims=(
+            "protected goodput at 2x capacity stays within 20% of saturation",
+            "p99 of admitted requests stays bounded while the baseline diverges",
+            "sheds are pre-shuffle only: anonymity never drops below S*I",
+            "every reject is the canonical padded message on protected hops",
+        ),
+    ),
     "ablations": Experiment(
         identifier="ablations",
         title="Design-choice ablations",

@@ -4,7 +4,12 @@ from repro.privacy.adversary import Adversary, ObservedMessage
 from repro.privacy.history import HistoryAttack, HistoryAttackResult
 from repro.privacy.linkage import LinkageOutcome, ShuffleLinkageExperiment
 from repro.privacy.unlinkability import KnowledgeEngine, Link, fifo_correlation
-from repro.privacy.wire import constant_size_violations, flow_size_profile, hop_of
+from repro.privacy.wire import (
+    RejectAuditor,
+    constant_size_violations,
+    flow_size_profile,
+    hop_of,
+)
 
 __all__ = [
     "Adversary",
@@ -17,6 +22,7 @@ __all__ = [
     "HistoryAttack",
     "HistoryAttackResult",
     "constant_size_violations",
+    "RejectAuditor",
     "flow_size_profile",
     "hop_of",
 ]

@@ -11,12 +11,17 @@ operators) a concrete leak detector.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Set, Tuple
 
 from repro.simnet.network import FlowRecord
 
-__all__ = ["hop_of", "flow_size_profile", "constant_size_violations"]
+__all__ = [
+    "hop_of",
+    "flow_size_profile",
+    "constant_size_violations",
+    "RejectAuditor",
+]
 
 
 def hop_of(record: FlowRecord) -> Tuple[str, str]:
@@ -65,3 +70,66 @@ def constant_size_violations(
         if len(sizes) > 1 and max(sizes) - min(sizes) > tolerance:
             violations.append(f"{hop[0]}->{hop[1]}: sizes {sorted(sizes)}")
     return violations
+
+
+@dataclass
+class RejectAuditor:
+    """Payload-level uniformity audit of error replies on protected hops.
+
+    The overload subsystem promises that *every* reject crossing a
+    protected hop (ia->ua and ua->client) is the single canonical
+    padded message — a shed must be indistinguishable from a brownout,
+    a breaker trip or a transform failure.  :class:`FlowRecord` keeps
+    sizes only, so this auditor rides the network's wiretap channel
+    (``network.add_wiretap(auditor.observe)``) to inspect the payloads
+    themselves while they are in flight.
+
+    Hardened-hop deployments seal the ua->client body; there only the
+    size can be checked (a sealed blob is opaque by design), which is
+    why the per-hop size set is tracked independently of the field
+    check.
+    """
+
+    #: Hops on which reject uniformity is enforced.
+    hops: Tuple[Tuple[str, str], ...] = (("ia", "ua"), ("ua", "client"))
+    #: Distinct reject wire-sizes seen per audited hop.
+    reject_sizes: Dict[Tuple[str, str], Set[int]] = field(default_factory=dict)
+    #: Non-canonical plaintext reject bodies seen per audited hop.
+    offending_fields: Dict[Tuple[str, str], List[str]] = field(default_factory=dict)
+    rejects_observed: int = 0
+
+    def observe(self, record: FlowRecord, payload: Any) -> None:
+        """Wiretap hook: inspect one in-flight message."""
+        status = getattr(payload, "status", None)
+        ok = getattr(payload, "ok", True)
+        if status is None or ok:
+            return
+        hop = hop_of(record)
+        if hop not in self.hops:
+            return
+        from repro.overload.shedding import is_uniform_reject
+
+        self.rejects_observed += 1
+        self.reject_sizes.setdefault(hop, set()).add(record.size_bytes)
+        fields = getattr(payload, "fields", {})
+        sealed = "sealed_resp" in fields
+        if not sealed and not is_uniform_reject(payload):
+            self.offending_fields.setdefault(hop, []).append(
+                f"status={status} fields={sorted(fields)}"
+            )
+
+    def violations(self) -> List[str]:
+        """Human-readable audit findings (empty means clean)."""
+        found: List[str] = []
+        for hop, sizes in sorted(self.reject_sizes.items()):
+            if len(sizes) > 1:
+                found.append(
+                    f"{hop[0]}->{hop[1]}: rejects with distinct sizes {sorted(sizes)}"
+                )
+        for hop, offenders in sorted(self.offending_fields.items()):
+            sample = offenders[0]
+            found.append(
+                f"{hop[0]}->{hop[1]}: {len(offenders)} non-canonical reject "
+                f"bodies (e.g. {sample})"
+            )
+        return found

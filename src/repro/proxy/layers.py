@@ -17,10 +17,20 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.crypto.keys import LayerKeys
 from repro.crypto.provider import CryptoProvider
+from repro.overload.admission import AdmissionController, OverloadSignal
+from repro.overload.deadline import charge, decode_deadline, stamp_deadline
+from repro.overload.policy import OverloadPolicy
+from repro.overload.shedding import (
+    STAGE_ADMISSION,
+    STAGE_DEADLINE,
+    STAGE_QUEUE,
+    STAGE_UPSTREAM,
+    uniform_reject,
+)
 from repro.proxy import protocol
 from repro.proxy.config import PProxConfig
 from repro.proxy.costs import ProxyCostModel
@@ -29,9 +39,10 @@ from repro.rest.messages import Request, Response
 from repro.rest.routing import RoutingTable
 from repro.sgx.enclave import Enclave
 from repro.simnet.clock import EventLoop
-from repro.simnet.loadbalancer import LoadBalancer
+from repro.simnet.loadbalancer import BalancerError, LoadBalancer
 from repro.simnet.network import Network
 from repro.simnet.node import SimNode
+from repro.simnet.queueing import ConcurrentQueue
 from repro.telemetry.types import TelemetryLike
 
 __all__ = [
@@ -54,15 +65,15 @@ RETRYABLE_STATUS = 503
 def transform_error_response(request: Request, exc: Exception) -> Response:
     """A retryable error reply for a failed cryptographic transform.
 
-    Only the exception *type* crosses the wire: exception messages can
-    quote the payload being transformed, which may hold identifiers the
-    redaction boundary must never see.
+    The reply is the canonical uniform reject: not even the exception
+    *type* crosses the wire anymore (exception messages can quote the
+    payload being transformed, and type names correlate with layer
+    state — a shed, a stale key and a breaker trip must all look the
+    same to the other layer and to the wire adversary).  The cause
+    survives only in the instance's local ``transform_errors`` counter.
     """
-    return Response(
-        status=RETRYABLE_STATUS,
-        fields={"retryable": True, "error": type(exc).__name__},
-        request_id=request.request_id,
-    )
+    del exc  # cause is deliberately not serialized
+    return uniform_reject(request.request_id)
 
 #: Tenant label used by single-application deployments.
 DEFAULT_TENANT = "default"
@@ -87,6 +98,10 @@ class ProxyRuntime:
     #: Optional :class:`repro.telemetry.Telemetry` hub.  When absent,
     #: the data plane runs with zero instrumentation overhead.
     telemetry: Optional[TelemetryLike] = None
+    #: Optional overload-protection knobs.  ``None`` (the default)
+    #: means the layers run exactly the pre-overload data plane: no
+    #: ingress queues, no admission control, no deadline enforcement.
+    overload: Optional[OverloadPolicy] = None
 
 
 def _layer_keys(enclave: Enclave, sk_slot: str, k_slot: str) -> LayerKeys:
@@ -133,6 +148,24 @@ class UserAnonymizer:
     #: Responses dropped because their routing entry did not survive a
     #: crash/restart (the client recovers via timeout + retry).
     stale_responses: int = 0
+    #: Bounded ingress queue (overload mode only; ``None`` otherwise).
+    ingress: Optional[ConcurrentQueue] = None
+    #: Front-door admission controller (overload mode only).
+    admission: Optional[AdmissionController] = None
+    #: Requests shed at this instance, keyed by ``(stage, reason)``.
+    shed_totals: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: Requests rejected because every IA backend was ejected.
+    no_upstream: int = 0
+    #: Non-ok responses rewritten to the uniform reject before they
+    #: crossed a protected hop.
+    rejects_normalized: int = 0
+    #: Telemetry hooks (set by ``instrument_overload``): called per shed
+    #: with ``(stage, reason)`` / per arriving deadline with the
+    #: remaining budget in seconds.
+    shed_observer: Optional[Callable[[str, str], None]] = None
+    deadline_observer: Optional[Callable[[float], None]] = None
+    _pump_window: int = 0
+    _announced_sheds: Set[Tuple[str, str]] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         if self.node is None:
@@ -146,6 +179,20 @@ class UserAnonymizer:
                 release=self._start_processing,
                 name=f"{self.name}-requests",
             )
+        policy = self.runtime.overload
+        if policy is not None:
+            if self.ingress is None:
+                self.ingress = policy.make_ingress_queue(
+                    f"{self.name}-ingress", clock=lambda: self.runtime.loop.now
+                )
+            self.ingress.on_shed = self._shed_from_queue
+            if self.admission is None:
+                self.admission = policy.make_admission()
+            # The pump never throttles below a full shuffle batch:
+            # bounding concurrency must not starve the buffer under S.
+            self._pump_window = max(
+                policy.max_inflight, self.runtime.config.shuffle_size
+            )
 
     @property
     def address(self) -> str:
@@ -156,7 +203,57 @@ class UserAnonymizer:
     def pending(self) -> int:
         """Outstanding work (load-balancer signal)."""
         buffered = self.request_buffer.pending if self.request_buffer else 0
-        return self.node.pending + len(self.routing) + buffered
+        queued = self.ingress.depth if self.ingress is not None else 0
+        return self.node.pending + len(self.routing) + buffered + queued
+
+    @property
+    def sheds(self) -> int:
+        """Total requests shed at this instance (all stages)."""
+        return sum(self.shed_totals.values())
+
+    def overload_signal(self) -> OverloadSignal:
+        """Point-in-time overload indicators for this instance."""
+        depth = self.ingress.depth if self.ingress is not None else 0
+        sojourn = self.ingress.oldest_sojourn() if self.ingress is not None else 0.0
+        pressure = (
+            self.runtime.costs.sgx.paging_pressure(len(self.routing))
+            if self.runtime.config.sgx
+            else 0.0
+        )
+        return OverloadSignal(
+            queue_depth=depth,
+            queue_sojourn=sojourn,
+            inflight=self.node.pending,
+            epc_pressure=pressure,
+        )
+
+    def _count_shed(self, stage: str, reason: str) -> None:
+        key = (stage, reason)
+        self.shed_totals[key] = self.shed_totals.get(key, 0) + 1
+        if self.shed_observer is not None:
+            self.shed_observer(stage, reason)
+        telemetry = self.runtime.telemetry
+        if telemetry is not None and key not in self._announced_sheds:
+            # Sparse: one event per (stage, reason) per instance life;
+            # volumes live in pprox_shed_total.  Payload carries no
+            # request identifiers, so the "ua" redaction role has
+            # nothing to scrub but also nothing to leak.
+            self._announced_sheds.add(key)
+            telemetry.event_log.emit(
+                "shed",
+                "ua",
+                {
+                    "event": "request_shed",
+                    "stage": stage,
+                    "reason": reason,
+                    "instance": self.name,
+                },
+            )
+
+    def _shed_from_queue(self, entry: tuple, reason: str) -> None:
+        request, reply = entry[0], entry[1]
+        self._count_shed(STAGE_QUEUE, reason)
+        reply(uniform_reject(request.request_id))
 
     # -- request path --------------------------------------------------
 
@@ -190,20 +287,69 @@ class UserAnonymizer:
         self.generation += 1
         self.enclave = enclave
         self.routing = RoutingTable(name=f"T-ua-g{self.generation}")
+        policy = self.runtime.overload
+        if policy is not None:
+            # Pre-crash queue entries are crash-stop casualties exactly
+            # like the shuffle batch: the new life starts empty.
+            self.ingress = policy.make_ingress_queue(
+                f"{self.name}-ingress-g{self.generation}",
+                clock=lambda: self.runtime.loop.now,
+            )
+            self.ingress.on_shed = self._shed_from_queue
         self.alive = True
 
     def receive_request(self, request: Request, reply: ReplyFn) -> None:
         """Entry point for a client request delivered by the network."""
         if not self.alive:
             return
-        entry = (request, reply)
-        if self.request_buffer is not None:
-            self.request_buffer.add(entry)
-        else:
-            self._start_processing(entry)
+        if self.ingress is None:
+            entry = (request, reply)
+            if self.request_buffer is not None:
+                self.request_buffer.add(entry)
+            else:
+                self._start_processing(entry)
+            return
+        policy = self.runtime.overload
+        remaining = decode_deadline(request)
+        if remaining is not None and self.deadline_observer is not None:
+            self.deadline_observer(remaining)
+        if policy.enforce_deadlines and remaining is not None and remaining <= 0.0:
+            # Spent budget: the client already gave up, so shed before
+            # any enclave entry-cost is paid for this request.
+            self._count_shed(STAGE_DEADLINE, "expired")
+            reply(uniform_reject(request.request_id))
+            return
+        if self.admission is not None:
+            refusal = self.admission.admit(self.overload_signal())
+            if refusal is not None:
+                self._count_shed(STAGE_ADMISSION, refusal)
+                reply(uniform_reject(request.request_id))
+                return
+        self.ingress.push((request, reply, self.runtime.loop.now, remaining))
+        self._pump()
+
+    def _pump(self) -> None:
+        """Drain admitted entries into the shuffle buffer / node while
+        the in-flight window has room.  Sheds decided at dequeue time
+        (CoDel sojourn) happen here — still pre-shuffle."""
+        if self.ingress is None:
+            return
+        while True:
+            buffered = self.request_buffer.pending if self.request_buffer else 0
+            if self.node.pending + buffered >= self._pump_window:
+                return
+            entry = self.ingress.pop()
+            if entry is None:
+                return
+            if self.request_buffer is not None:
+                self.request_buffer.add(entry)
+            else:
+                self._start_processing(entry)
 
     def _start_processing(self, entry: tuple) -> None:
-        request, reply = entry
+        request, reply = entry[0], entry[1]
+        arrived = entry[2] if len(entry) > 2 else None
+        remaining = entry[3] if len(entry) > 3 else None
         shuffle_wait = (
             self.request_buffer.last_wait if self.request_buffer is not None else 0.0
         )
@@ -213,7 +359,15 @@ class UserAnonymizer:
         generation = self.generation
         self.node.submit(
             service_time,
-            lambda: self._forward(request, reply, service_time, shuffle_wait, generation),
+            lambda: self._forward(
+                request,
+                reply,
+                service_time,
+                shuffle_wait,
+                generation,
+                arrived=arrived,
+                remaining=remaining,
+            ),
         )
 
     def _forward(
@@ -223,6 +377,8 @@ class UserAnonymizer:
         service_time: float = 0.0,
         shuffle_wait: float = 0.0,
         generation: Optional[int] = None,
+        arrived: Optional[float] = None,
+        remaining: Optional[float] = None,
     ) -> None:
         if not self.alive or (generation is not None and generation != self.generation):
             return
@@ -241,10 +397,33 @@ class UserAnonymizer:
             # response mid-flight): reject retryably, never crash.
             self.transform_errors += 1
             reply(transform_error_response(request, exc))
+            self._pump()
             return
+        try:
+            ia = self.ia_balancer.pick()
+        except BalancerError:
+            # Every IA is ejected (NoUpstream): nowhere to route, so
+            # reject retryably before registering any routing state.
+            # This request already traversed the shuffle batch, so it
+            # is not a load shed — but the reject is still the uniform
+            # message, indistinguishable from one.
+            self.no_upstream += 1
+            self._count_shed(STAGE_UPSTREAM, "no_upstream")
+            reply(uniform_reject(request.request_id))
+            self._pump()
+            return
+        if remaining is not None:
+            # Charge this hop's queueing + service time to the budget
+            # and restamp (the hardened-mode transform rebuilds the
+            # request from sealed inner fields, dropping the top-level
+            # budget).  Never shed here: the request already traversed
+            # the shuffle, and post-shuffle drops would thin the batch
+            # below S.
+            if arrived is not None:
+                remaining = charge(remaining, self.runtime.loop.now - arrived)
+            transformed = stamp_deadline(transformed, remaining)
         self.routing.register(request.request_id, (reply, response_key))
         self.requests_processed += 1
-        ia = self.ia_balancer.pick()
         network = self.runtime.network
         telemetry = self.runtime.telemetry
 
@@ -279,6 +458,7 @@ class UserAnonymizer:
             transformed.size_bytes(),
             lambda req: ia.receive_request(req, reply_from_ia),
         )
+        self._pump()
 
     # -- response path -------------------------------------------------
 
@@ -306,8 +486,16 @@ class UserAnonymizer:
             # The route predates a crash/restart; the client's retry
             # already travels under a fresh id.
             self.stale_responses += 1
+            self._pump()
             return
         reply, response_key = self.routing.consume(response.request_id)
+        if not response.ok:
+            # Whatever failed upstream (brownout text, guard shed,
+            # transform error), the client-facing wire carries only the
+            # canonical reject: cause strings correlate with IA/LRS
+            # state that must stay behind the redaction boundary.
+            self.rejects_normalized += 1
+            response = uniform_reject(response.request_id)
         wrapped = protocol.ua_wrap_response(
             self.runtime.provider, self.runtime.config, response_key, response
         )
@@ -325,6 +513,7 @@ class UserAnonymizer:
                 **_sgx_attrs(self.runtime, self.enclave, len(self.routing)),
             )
         reply(wrapped)
+        self._pump()
 
     def _keys_for(self, tenant: str) -> LayerKeys:
         """Resolve key material; single-tenant deployments ignore
@@ -354,6 +543,20 @@ class ItemAnonymizer:
     generation: int = 0
     transform_errors: int = 0
     stale_responses: int = 0
+    #: Bounded ingress queue (overload mode only; ``None`` otherwise).
+    ingress: Optional[ConcurrentQueue] = None
+    #: Requests shed at this instance, keyed by ``(stage, reason)``.
+    shed_totals: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: Requests rejected because the LRS pool had no backend.
+    no_upstream: int = 0
+    #: Non-ok responses rewritten to the uniform reject before they
+    #: crossed the ia->ua hop.
+    rejects_normalized: int = 0
+    #: Telemetry hooks (see :class:`UserAnonymizer`).
+    shed_observer: Optional[Callable[[str, str], None]] = None
+    deadline_observer: Optional[Callable[[float], None]] = None
+    _pump_window: int = 0
+    _announced_sheds: Set[Tuple[str, str]] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         if self.node is None:
@@ -367,6 +570,19 @@ class ItemAnonymizer:
                 release=self._start_response_processing,
                 name=f"{self.name}-responses",
             )
+        policy = self.runtime.overload
+        if policy is not None:
+            if self.ingress is None:
+                self.ingress = policy.make_ingress_queue(
+                    f"{self.name}-ingress", clock=lambda: self.runtime.loop.now
+                )
+            self.ingress.on_shed = self._shed_from_queue
+            # No admission controller here: the UA is the front door.
+            # Response-side submissions share the node, so the window
+            # must cover a full flushed batch of S responses too.
+            self._pump_window = max(
+                policy.max_inflight, self.runtime.config.shuffle_size
+            )
 
     @property
     def address(self) -> str:
@@ -377,7 +593,53 @@ class ItemAnonymizer:
     def pending(self) -> int:
         """Outstanding work (load-balancer signal)."""
         buffered = self.response_buffer.pending if self.response_buffer else 0
-        return self.node.pending + len(self.routing) + buffered
+        queued = self.ingress.depth if self.ingress is not None else 0
+        return self.node.pending + len(self.routing) + buffered + queued
+
+    @property
+    def sheds(self) -> int:
+        """Total requests shed at this instance (all stages)."""
+        return sum(self.shed_totals.values())
+
+    def overload_signal(self) -> OverloadSignal:
+        """Point-in-time overload indicators for this instance."""
+        depth = self.ingress.depth if self.ingress is not None else 0
+        sojourn = self.ingress.oldest_sojourn() if self.ingress is not None else 0.0
+        pressure = (
+            self.runtime.costs.sgx.paging_pressure(len(self.routing))
+            if self.runtime.config.sgx
+            else 0.0
+        )
+        return OverloadSignal(
+            queue_depth=depth,
+            queue_sojourn=sojourn,
+            inflight=self.node.pending,
+            epc_pressure=pressure,
+        )
+
+    def _count_shed(self, stage: str, reason: str) -> None:
+        key = (stage, reason)
+        self.shed_totals[key] = self.shed_totals.get(key, 0) + 1
+        if self.shed_observer is not None:
+            self.shed_observer(stage, reason)
+        telemetry = self.runtime.telemetry
+        if telemetry is not None and key not in self._announced_sheds:
+            self._announced_sheds.add(key)
+            telemetry.event_log.emit(
+                "shed",
+                "ia",
+                {
+                    "event": "request_shed",
+                    "stage": stage,
+                    "reason": reason,
+                    "instance": self.name,
+                },
+            )
+
+    def _shed_from_queue(self, entry: tuple, reason: str) -> None:
+        request, reply = entry[0], entry[1]
+        self._count_shed(STAGE_QUEUE, reason)
+        reply(uniform_reject(request.request_id))
 
     # -- request path --------------------------------------------------
 
@@ -401,18 +663,66 @@ class ItemAnonymizer:
         self.generation += 1
         self.enclave = enclave
         self.routing = RoutingTable(name=f"T-ia-g{self.generation}")
+        policy = self.runtime.overload
+        if policy is not None:
+            self.ingress = policy.make_ingress_queue(
+                f"{self.name}-ingress-g{self.generation}",
+                clock=lambda: self.runtime.loop.now,
+            )
+            self.ingress.on_shed = self._shed_from_queue
         self.alive = True
 
     def receive_request(self, request: Request, reply: ReplyFn) -> None:
         """Entry point for a UA-forwarded request."""
         if not self.alive:
             return
+        if self.ingress is None:
+            self._start_request_processing((request, reply))
+            return
+        policy = self.runtime.overload
+        remaining = decode_deadline(request)
+        if remaining is not None and self.deadline_observer is not None:
+            self.deadline_observer(remaining)
+        if policy.enforce_deadlines and remaining is not None and remaining <= 0.0:
+            # Pre-enclave shed.  Safe for anonymity: this is the IA's
+            # *request* path; the batch the IA randomizes is responses,
+            # and the reject joins that shuffle downstream like any
+            # LRS reply would.
+            self._count_shed(STAGE_DEADLINE, "expired")
+            reply(uniform_reject(request.request_id))
+            return
+        self.ingress.push((request, reply, self.runtime.loop.now, remaining))
+        self._pump()
+
+    def _pump(self) -> None:
+        """Drain admitted requests into the node while the in-flight
+        window has room (dequeue-time sheds happen here)."""
+        if self.ingress is None:
+            return
+        while self.node.pending < self._pump_window:
+            entry = self.ingress.pop()
+            if entry is None:
+                return
+            self._start_request_processing(entry)
+
+    def _start_request_processing(self, entry: tuple) -> None:
+        request, reply = entry[0], entry[1]
+        arrived = entry[2] if len(entry) > 2 else None
+        remaining = entry[3] if len(entry) > 3 else None
         service_time = self.runtime.costs.ia_request_leg(
             self.runtime.config, len(self.routing), self.enclave.performance_penalty
         )
         generation = self.generation
         self.node.submit(
-            service_time, lambda: self._forward(request, reply, service_time, generation)
+            service_time,
+            lambda: self._forward(
+                request,
+                reply,
+                service_time,
+                generation,
+                arrived=arrived,
+                remaining=remaining,
+            ),
         )
 
     def _forward(
@@ -421,6 +731,8 @@ class ItemAnonymizer:
         reply: ReplyFn,
         service_time: float = 0.0,
         generation: Optional[int] = None,
+        arrived: Optional[float] = None,
+        remaining: Optional[float] = None,
     ) -> None:
         if not self.alive or (generation is not None and generation != self.generation):
             return
@@ -437,10 +749,23 @@ class ItemAnonymizer:
         except Exception as exc:
             self.transform_errors += 1
             reply(transform_error_response(request, exc))
+            self._pump()
             return
+        try:
+            backend = self._pick_backend(request)
+        except BalancerError:
+            # NoUpstream: the LRS pool is empty (every backend ejected).
+            self.no_upstream += 1
+            self._count_shed(STAGE_UPSTREAM, "no_upstream")
+            reply(uniform_reject(request.request_id))
+            self._pump()
+            return
+        if remaining is not None:
+            if arrived is not None:
+                remaining = charge(remaining, self.runtime.loop.now - arrived)
+            transformed = stamp_deadline(transformed, remaining)
         self.routing.register(request.request_id, (reply, context))
         self.requests_processed += 1
-        backend = self._pick_backend(request)
         network = self.runtime.network
         telemetry = self.runtime.telemetry
         # The IA is the only component that knows, by construction, that
@@ -479,6 +804,7 @@ class ItemAnonymizer:
             transformed.size_bytes(),
             lambda req: backend.handle(req, reply_from_lrs),
         )
+        self._pump()
 
     # -- response path -------------------------------------------------
 
@@ -526,6 +852,7 @@ class ItemAnonymizer:
             return
         if response.request_id not in self.routing:
             self.stale_responses += 1
+            self._pump()
             return
         reply, context = self.routing.consume(response.request_id)
         ecalls_before = self.enclave.ecall_count
@@ -537,15 +864,18 @@ class ItemAnonymizer:
                 self.runtime.provider, keys, self.runtime.config, context, response
             )
         except Exception as exc:
+            del exc
             self.transform_errors += 1
-            reply(
-                Response(
-                    status=RETRYABLE_STATUS,
-                    fields={"retryable": True, "error": type(exc).__name__},
-                    request_id=response.request_id,
-                )
-            )
+            reply(uniform_reject(response.request_id))
+            self._pump()
             return
+        if not transformed.ok:
+            # ia_transform_response passes failures through untouched;
+            # rewrite them here so brownout/guard/backend error text
+            # never crosses the ia->ua hop — a shed must look exactly
+            # like any other failure from the UA's side.
+            self.rejects_normalized += 1
+            transformed = uniform_reject(transformed.request_id)
         self.responses_processed += 1
         self.enclave.ocall()
         telemetry = self.runtime.telemetry
@@ -563,6 +893,7 @@ class ItemAnonymizer:
                 **_sgx_attrs(self.runtime, self.enclave, len(self.routing)),
             )
         reply(transformed)
+        self._pump()
 
     def _keys_for(self, tenant: str) -> LayerKeys:
         """Resolve key material; single-tenant deployments ignore

@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.crypto.keys import KeyFactory, LayerKeys
 from repro.crypto.provider import CryptoProvider, SimCryptoProvider
+from repro.overload.policy import OverloadPolicy
 from repro.proxy.config import PProxConfig
 from repro.proxy.costs import DEFAULT_COSTS, ProxyCostModel
 from repro.proxy.layers import ItemAnonymizer, ProxyRuntime, UserAnonymizer
@@ -209,6 +210,7 @@ def build_service(
     costs: ProxyCostModel = DEFAULT_COSTS,
     rsa_bits: int = 1024,
     telemetry: Optional[TelemetryLike] = None,
+    overload: Optional[OverloadPolicy] = None,
 ) -> PProxService:
     """Deploy a PProx service according to *config* (keyword-only core).
 
@@ -251,6 +253,7 @@ def build_service(
         config=config,
         costs=costs,
         telemetry=telemetry,
+        overload=overload,
     )
     service = PProxService(
         runtime=runtime,
@@ -319,6 +322,7 @@ def build_pprox(*args: Any, **kwargs: Any) -> PProxService:
         config = merged.pop("config")
         lrs_picker = merged.pop("lrs_picker")
         rsa_bits = merged.pop("rsa_bits", 1024)
+        overload = merged.pop("overload", None)
         if merged:
             raise TypeError(
                 "unexpected arguments for context-based build_pprox: "
@@ -334,6 +338,7 @@ def build_pprox(*args: Any, **kwargs: Any) -> PProxService:
             costs=ctx.costs,
             rsa_bits=rsa_bits,
             telemetry=ctx.telemetry,
+            overload=overload,
         )
     warnings.warn(
         "build_pprox(loop, network, rng, ...) is deprecated; pass a "

@@ -49,6 +49,19 @@ class SgxCostModel:
             cost += self.epc_paging_seconds
         return cost * performance_penalty
 
+    def paging_pressure(self, pending_entries: int) -> float:
+        """EPC working-set pressure as an overload signal.
+
+        The ratio of the enclave's pending-request table to the EPC
+        capacity: values above 1.0 mean every request is already
+        paying :attr:`epc_paging_seconds`, so admission control should
+        have tightened *before* this reaches 1.0.  Zero when SGX is
+        disabled (nothing pages).
+        """
+        if not self.enabled or self.epc_entries <= 0:
+            return 0.0
+        return pending_entries / float(self.epc_entries)
+
 
 #: Cost model for non-SGX configurations (m1, m2).
 NO_SGX = SgxCostModel(enabled=False)

@@ -11,6 +11,7 @@ from repro.simnet.loadbalancer import (
     BalancingPolicy,
     LeastPendingPolicy,
     LoadBalancer,
+    NoUpstream,
     RandomPolicy,
     RoundRobinPolicy,
     make_policy,
@@ -18,7 +19,17 @@ from repro.simnet.loadbalancer import (
 from repro.simnet.metrics import CandlestickSummary, LatencyRecorder, percentile, trim_window
 from repro.simnet.network import FaultDecision, FlowRecord, LatencyModel, Network
 from repro.simnet.node import NodeStats, SimNode
-from repro.simnet.queueing import ConcurrentQueue
+from repro.simnet.queueing import (
+    SHED_FRONT,
+    SHED_SOJOURN,
+    SHED_TAIL,
+    CoDelPolicy,
+    ConcurrentQueue,
+    FrontDropPolicy,
+    ShedPolicy,
+    TailDropPolicy,
+    make_shed_policy,
+)
 from repro.simnet.rng import RngRegistry
 from repro.simnet.tracing import BreakdownProbe, RequestTimeline, STAGES
 
@@ -28,6 +39,7 @@ __all__ = [
     "SimulationError",
     "LoadBalancer",
     "BalancerError",
+    "NoUpstream",
     "BalancingPolicy",
     "RandomPolicy",
     "RoundRobinPolicy",
@@ -44,6 +56,14 @@ __all__ = [
     "SimNode",
     "NodeStats",
     "ConcurrentQueue",
+    "ShedPolicy",
+    "TailDropPolicy",
+    "FrontDropPolicy",
+    "CoDelPolicy",
+    "make_shed_policy",
+    "SHED_TAIL",
+    "SHED_FRONT",
+    "SHED_SOJOURN",
     "RngRegistry",
     "BreakdownProbe",
     "RequestTimeline",

@@ -16,6 +16,7 @@ from typing import Generic, List, Protocol, Sequence, TypeVar
 __all__ = [
     "LoadBalancer",
     "BalancerError",
+    "NoUpstream",
     "RandomPolicy",
     "RoundRobinPolicy",
     "LeastPendingPolicy",
@@ -26,6 +27,17 @@ __all__ = [
 
 class BalancerError(RuntimeError):
     """Raised on invalid pool operations (unknown backend, empty pool)."""
+
+
+class NoUpstream(BalancerError):
+    """Typed rejection: every backend is ejected right now.
+
+    Raised by :meth:`LoadBalancer.pick` on an empty pool so callers in
+    the data plane (the UA picking an IA, the client picking a UA) can
+    convert "nowhere to route" into a uniform retryable reject instead
+    of crashing or looping.  Subclasses :class:`BalancerError`, so
+    pre-existing ``except BalancerError`` handlers keep working.
+    """
 
 
 class _HasPending(Protocol):
@@ -133,9 +145,14 @@ class LoadBalancer(Generic[BackendT]):
         return True
 
     def pick(self) -> BackendT:
-        """Choose a backend for the next request."""
+        """Choose a backend for the next request.
+
+        Raises :class:`NoUpstream` when every backend is ejected
+        (overload + health-eject interplay: the caller should reject
+        the request retryably, not crash).
+        """
         if not self.backends:
-            raise BalancerError(f"load balancer {self.name!r} has no backends")
+            raise NoUpstream(f"load balancer {self.name!r} has no backends")
         self.decisions += 1
         return self.policy.choose(self.backends)
 

@@ -31,6 +31,7 @@ from repro.telemetry.instruments import (
     instrument_injector,
     instrument_lrs,
     instrument_network,
+    instrument_overload,
     instrument_recovery,
     instrument_service,
     instrument_stack,
@@ -72,4 +73,5 @@ __all__ = [
     "instrument_injector",
     "instrument_network",
     "instrument_recovery",
+    "instrument_overload",
 ]

@@ -35,6 +35,7 @@ __all__ = [
     "instrument_injector",
     "instrument_network",
     "instrument_recovery",
+    "instrument_overload",
     "instrument_stack",
 ]
 
@@ -338,6 +339,102 @@ def instrument_recovery(
         )
 
 
+def instrument_overload(telemetry: Any, *, service: Any = None, guard: Any = None) -> None:
+    """Register overload-protection instruments.
+
+    *service* is a :class:`PProxService` whose instances may carry a
+    bounded ingress queue (overload mode) — or legacy unbounded ones,
+    flagged by the ``pprox_queue_unbounded`` warning gauge.  *guard* is
+    a :class:`repro.overload.guard.GuardedLrs` wrapping the LRS edge.
+
+    Shed volumes and sojourn/deadline distributions are push-style
+    (observer hooks set on the instances); everything else is read via
+    collect-time callbacks.  Labels carry role/instance/stage/reason
+    only — never user or item identifiers — so every series passes the
+    role-aware redaction audit unscrubbed.
+    """
+    registry = telemetry.registry
+    if service is not None:
+        sojourn_hist = registry.histogram(
+            "pprox_queue_sojourn_seconds",
+            "Time admitted requests spent waiting in a bounded ingress queue.",
+            buckets=(0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5),
+        )
+        deadline_hist = registry.histogram(
+            "pprox_deadline_remaining_seconds",
+            "Budget remaining on requests as they arrive at a proxy layer.",
+            buckets=(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0),
+        )
+        for role, instances in (
+            ("ua", service.ua_instances),
+            ("ia", service.ia_instances),
+        ):
+            for instance in instances:
+                labels = {"role": role, "instance": instance.name}
+
+                def on_shed(
+                    stage: str,
+                    reason: str,
+                    _labels: Dict[str, str] = labels,
+                ) -> None:
+                    registry.counter(
+                        "pprox_shed_total",
+                        "Requests shed by the overload-protection subsystem.",
+                        {**_labels, "stage": stage, "reason": reason},
+                    ).inc()
+
+                instance.shed_observer = on_shed
+                instance.deadline_observer = deadline_hist.observe
+                queue = getattr(instance, "ingress", None)
+                registry.gauge(
+                    "pprox_queue_unbounded",
+                    "1 when an instance still runs a legacy unbounded ingress "
+                    "queue (no overload protection), 0 when bounded.",
+                    labels,
+                    callback=lambda inst=instance: (
+                        1 if inst.ingress is None or inst.ingress.unbounded else 0
+                    ),
+                )
+                if queue is None:
+                    continue
+                registry.gauge(
+                    "pprox_queue_depth",
+                    "Entries waiting in a bounded ingress queue.",
+                    labels,
+                    callback=lambda inst=instance: (
+                        inst.ingress.depth if inst.ingress is not None else 0
+                    ),
+                )
+                queue.on_pop = sojourn_hist.observe
+    if guard is not None:
+        registry.gauge(
+            "pprox_breaker_state",
+            "IA->LRS circuit-breaker state (0 closed / 1 open / 2 half-open).",
+            callback=lambda: guard.breaker.state,
+        )
+        registry.counter(
+            "pprox_breaker_trips_total",
+            "Times the IA->LRS circuit breaker opened.",
+            callback=lambda: guard.breaker.trips,
+        )
+        registry.gauge(
+            "pprox_limiter_limit",
+            "Current AIMD concurrency limit on the IA->LRS edge.",
+            callback=lambda: guard.limiter.limit,
+        )
+        for reason, attribute in (
+            ("breaker", "breaker_rejections"),
+            ("limiter", "limiter_rejections"),
+            ("deadline", "expired_rejections"),
+        ):
+            registry.counter(
+                "pprox_shed_total",
+                "Requests shed by the overload-protection subsystem.",
+                {"role": "lrs", "stage": "lrs_guard", "reason": reason},
+                callback=lambda g=guard, attr=attribute: getattr(g, attr),
+            )
+
+
 def instrument_stack(
     telemetry: Any,
     *,
@@ -349,6 +446,7 @@ def instrument_stack(
     monitor: Any = None,
     client: Any = None,
     supervisor: Any = None,
+    guard: Any = None,
 ) -> None:
     """Instrument whichever stack components the caller has on hand."""
     if service is not None:
@@ -365,3 +463,5 @@ def instrument_stack(
         instrument_recovery(
             telemetry, monitor=monitor, client=client, supervisor=supervisor
         )
+    if service is not None or guard is not None:
+        instrument_overload(telemetry, service=service, guard=guard)

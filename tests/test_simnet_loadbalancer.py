@@ -127,3 +127,28 @@ def test_eject_absent_backend_is_idempotent():
     assert balancer.eject(backend)
     assert not balancer.eject(backend)  # second eject: no-op, no raise
     assert balancer.ejections == 1
+
+
+def test_pick_from_fully_ejected_pool_raises_typed_no_upstream():
+    """Health ejection can empty the pool entirely mid-traffic.
+
+    The data plane distinguishes this from a programming error: pick()
+    raises the typed NoUpstream (a BalancerError subclass), which the
+    proxy layers convert into the uniform retryable reject instead of
+    crashing the instance.
+    """
+    from repro.simnet.loadbalancer import NoUpstream
+
+    balancer = LoadBalancer(name="lb", policy=RoundRobinPolicy())
+    backends = [FakeBackend(f"b{i}") for i in range(2)]
+    for backend in backends:
+        balancer.add(backend)
+    balancer.pick()  # rotation underway
+    for backend in backends:
+        assert balancer.eject(backend)
+    with pytest.raises(NoUpstream, match="has no backends"):
+        balancer.pick()
+    assert isinstance(NoUpstream("x"), BalancerError)
+    # Readmission restores service on the same pool object.
+    balancer.readmit(backends[0])
+    assert balancer.pick() is backends[0]

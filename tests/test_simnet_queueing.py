@@ -80,3 +80,134 @@ def test_rng_registry_bytes_and_int_functions():
     registry = RngRegistry(seed=3)
     assert len(registry.bytes_fn("b")(16)) == 16
     assert 0 <= registry.int_fn("i")(10) < 10
+
+
+# --- bounded queues + shed policies (overload protection) -------------
+
+
+def test_legacy_default_is_explicitly_unbounded():
+    queue = ConcurrentQueue()
+    assert queue.unbounded
+    for item in range(1000):
+        assert queue.push(item)
+    assert queue.depth == 1000
+    assert queue.shed == 0
+
+
+def test_tail_drop_refuses_newcomer_at_capacity():
+    from repro.simnet.queueing import SHED_TAIL, TailDropPolicy
+
+    queue = ConcurrentQueue(capacity=2, shed_policy=TailDropPolicy())
+    assert not queue.unbounded
+    assert queue.push("a")
+    assert queue.push("b")
+    assert not queue.push("c")
+    assert queue.depth == 2
+    assert queue.shed == 1
+    assert queue.shed_by_reason == {SHED_TAIL: 1}
+    assert queue.pop() == "a"  # survivors keep FIFO order
+
+
+def test_capacity_without_policy_defaults_to_tail_drop():
+    from repro.simnet.queueing import SHED_TAIL
+
+    queue = ConcurrentQueue(capacity=1)
+    assert queue.push("a")
+    assert not queue.push("b")
+    assert queue.shed_by_reason == {SHED_TAIL: 1}
+
+
+def test_front_drop_evicts_oldest_to_admit_newcomer():
+    from repro.simnet.queueing import SHED_FRONT, FrontDropPolicy
+
+    queue = ConcurrentQueue(capacity=2, shed_policy=FrontDropPolicy())
+    queue.push("a")
+    queue.push("b")
+    assert queue.push("c")  # admitted: "a" is evicted instead
+    assert queue.shed_by_reason == {SHED_FRONT: 1}
+    assert [queue.pop(), queue.pop()] == ["b", "c"]
+
+
+def test_on_shed_hook_sees_item_and_reason():
+    from repro.simnet.queueing import SHED_TAIL, TailDropPolicy
+
+    queue = ConcurrentQueue(capacity=1, shed_policy=TailDropPolicy())
+    shed = []
+    queue.on_shed = lambda item, reason: shed.append((item, reason))
+    queue.push("keep")
+    queue.push("drop")
+    assert shed == [("drop", SHED_TAIL)]
+
+
+def test_codel_drops_at_dequeue_after_sustained_sojourn():
+    from repro.simnet.queueing import SHED_SOJOURN, CoDelPolicy
+
+    now = [0.0]
+    queue = ConcurrentQueue(
+        capacity=10,
+        shed_policy=CoDelPolicy(target=0.05, interval=0.1),
+        clock=lambda: now[0],
+    )
+    queue.push_all(["a", "b", "c"])
+    now[0] = 0.2  # every entry's sojourn is now far above target
+    # First dequeue only *starts* the above-target streak.
+    assert queue.pop() == "a"
+    now[0] = 0.4  # streak (started at 0.2) has exceeded the interval:
+    # dropping continues until sojourn falls back under target.
+    assert queue.pop() is None
+    assert queue.shed_by_reason == {SHED_SOJOURN: 2}
+    queue.push("fresh")
+    assert queue.pop() == "fresh"  # sub-target sojourn clears the streak
+
+
+def test_codel_streak_resets_when_sojourn_recovers():
+    from repro.simnet.queueing import CoDelPolicy
+
+    now = [0.0]
+    queue = ConcurrentQueue(
+        capacity=10,
+        shed_policy=CoDelPolicy(target=0.05, interval=0.1),
+        clock=lambda: now[0],
+    )
+    queue.push("slow")
+    now[0] = 0.2
+    assert queue.pop() == "slow"  # starts the streak
+    queue.push("fast")
+    assert queue.pop() == "fast"  # sojourn 0 < target: streak cleared
+    queue.push("slow-again")
+    now[0] = 0.4
+    assert queue.pop() == "slow-again"  # new streak, first offender passes
+    assert queue.shed == 0
+
+
+def test_on_pop_reports_sojourn_seconds():
+    now = [1.0]
+    queue = ConcurrentQueue(clock=lambda: now[0])
+    sojourns = []
+    queue.on_pop = sojourns.append
+    queue.push("x")
+    now[0] = 1.25
+    assert queue.pop() == "x"
+    assert sojourns == [0.25]
+
+
+def test_oldest_sojourn_tracks_head_entry():
+    now = [0.0]
+    queue = ConcurrentQueue(clock=lambda: now[0])
+    assert queue.oldest_sojourn() == 0.0
+    queue.push("x")
+    now[0] = 0.5
+    assert queue.oldest_sojourn() == 0.5
+
+
+def test_make_shed_policy_by_name_and_unknown():
+    import pytest
+
+    from repro.simnet.queueing import make_shed_policy
+
+    assert make_shed_policy("tail-drop").name == "tail-drop"
+    assert make_shed_policy("front-drop").name == "front-drop"
+    codel = make_shed_policy("codel", target=0.01, interval=0.02)
+    assert codel.name == "codel" and codel.target == 0.01
+    with pytest.raises(ValueError, match="unknown shed policy"):
+        make_shed_policy("red")
