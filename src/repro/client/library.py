@@ -25,6 +25,7 @@ from repro.overload.deadline import stamp_deadline
 from repro.proxy import protocol
 from repro.proxy.config import PProxConfig
 from repro.proxy.costs import ProxyCostModel
+from repro.proxy.epochs import stamp_epoch
 from repro.proxy.layers import RETRYABLE_STATUS
 from repro.proxy.service import PProxService, _looks_like_context
 from repro.rest.messages import Request, Response, Verb, make_get, make_post, next_request_id
@@ -116,6 +117,12 @@ class PProxClient:
     #: client has given up.  No retry is scheduled to land past the
     #: expiry.  ``None`` disables deadline propagation.
     deadline_budget: Optional[float] = None
+    #: Cache the service's key material/epoch view for this many
+    #: seconds, modelling a client that does not observe a rotation
+    #: immediately.  A retryable error invalidates the cache at once
+    #: (epoch discovery through the existing re-encode-on-retry path).
+    #: ``None`` reads live on every encode — the legacy behaviour.
+    epoch_ttl: Optional[float] = None
     calls_started: int = 0
     calls_completed: int = 0
     retries_performed: int = 0
@@ -123,6 +130,8 @@ class PProxClient:
     #: Retryable (e.g. 503 stale-key) error responses observed.
     retryable_errors: int = 0
     hedges_launched: int = 0
+    #: Epoch changes this client discovered (cache expiry or retry).
+    epoch_bumps: int = 0
     #: Settled-call classification: ok / retried / hedged / failed.
     outcomes: Dict[str, int] = field(default_factory=dict)
 
@@ -195,6 +204,7 @@ class PProxClient:
         backoff_jitter: float = 0.0,
         hedge_delay: Optional[float] = None,
         deadline_budget: Optional[float] = None,
+        epoch_ttl: Optional[float] = None,
     ) -> None:
         self.loop = loop
         self.network = network
@@ -212,12 +222,16 @@ class PProxClient:
         self.backoff_jitter = backoff_jitter
         self.hedge_delay = hedge_delay
         self.deadline_budget = deadline_budget
+        self.epoch_ttl = epoch_ttl
         self.calls_started = 0
         self.calls_completed = 0
         self.retries_performed = 0
         self.timeouts = 0
         self.retryable_errors = 0
         self.hedges_launched = 0
+        self.epoch_bumps = 0
+        #: (expires_at, material, epoch view) — set only with epoch_ttl.
+        self._material_cache: Optional[tuple] = None
         self.outcomes = {outcome: 0 for outcome in OUTCOME_CLASSES}
 
     @property
@@ -227,8 +241,58 @@ class PProxClient:
 
     @property
     def client_material(self) -> protocol.ClientMaterial:
-        """The key material this library encrypts against."""
-        return self.material if self.material is not None else self.service.client_material
+        """The key material this library encrypts against.
+
+        With :attr:`epoch_ttl` set, the material (and the epoch view it
+        belongs to) is cached for the TTL — a deliberately stale client
+        that exercises the dual-epoch acceptance window mid-rotation.
+        """
+        if self.material is not None:
+            return self.material
+        if self.epoch_ttl is None:
+            return self.service.client_material
+        cache = self._material_cache
+        if cache is not None and self.loop.now < cache[0]:
+            return cache[1]
+        material = self.service.client_material
+        epochs = self._service_epochs()
+        if cache is not None and cache[2] != epochs:
+            self.epoch_bumps += 1
+        self._material_cache = (self.loop.now + self.epoch_ttl, material, epochs)
+        return material
+
+    def _service_epochs(self) -> Optional[Dict[str, int]]:
+        """The service's epoch view (None for pre-epoch deployments and
+        for frontends — e.g. redirectors — that do not expose one)."""
+        return getattr(self.service, "wire_epochs", None)
+
+    def _stamp_epoch(self, encoded: Request) -> Request:
+        """Tag the request with the UA epoch its encryption targets.
+
+        The tag is fixed-width (constant request size preserved) and is
+        stripped by the UA before the shuffle buffer.  Requests built
+        from cached material carry the *cached* epoch — the honest view
+        of a stale client.  Pre-epoch services stamp nothing.
+        """
+        cache = self._material_cache
+        if cache is not None and self.loop.now < cache[0]:
+            epochs = cache[2]
+        else:
+            epochs = self._service_epochs()
+        if not epochs:
+            return encoded
+        return stamp_epoch(encoded, epochs.get("UA"))
+
+    def _note_retry_epoch(self) -> None:
+        """Epoch discovery on retry: drop the cached material so the
+        re-encode sees the service's current keys, and count a bump
+        when the epoch actually moved underneath this client."""
+        if self.epoch_ttl is None:
+            return
+        cache = self._material_cache
+        self._material_cache = None
+        if cache is not None and cache[2] != self._service_epochs():
+            self.epoch_bumps += 1
 
     def post(
         self,
@@ -248,7 +312,7 @@ class PProxClient:
             )
             if self.tenant is not None:
                 encoded = encoded.with_fields(tenant=self.tenant)
-            return encoded, keys
+            return self._stamp_epoch(encoded), keys
 
         encoded, keys = encode()
         self._dispatch(encoded, address, user, keys, on_complete, re_encode=encode)
@@ -269,7 +333,7 @@ class PProxClient:
             )
             if self.tenant is not None:
                 encoded = encoded.with_fields(tenant=self.tenant)
-            return encoded, keys
+            return self._stamp_epoch(encoded), keys
 
         encoded, keys = encode()
         self._dispatch(encoded, address, user, keys, on_complete, re_encode=encode)
@@ -366,7 +430,10 @@ class PProxClient:
             if re_encode is not None:
                 # Re-seal under the *current* client material: a retry
                 # provoked by a stale-key 503 (mid-rotation) only heals
-                # if it is encrypted against the rotated keys.
+                # if it is encrypted against the rotated keys.  Any
+                # cached epoch view is dropped first — this is where a
+                # stale client discovers a rotation.
+                self._note_retry_epoch()
                 fresh, fresh_keys = re_encode()
                 retry = replace(fresh, request_id=next_request_id())
             else:
@@ -440,9 +507,28 @@ class PProxClient:
                         return
                 items: List[str] = []
                 if response.ok and request.verb == Verb.GET:
-                    items = protocol.client_decode_response(
-                        self.provider, self.config, response, attempt_keys
-                    )
+                    try:
+                        items = protocol.client_decode_response(
+                            self.provider, self.config, response, attempt_keys
+                        )
+                    except Exception:
+                        # Mid-rotation, a blob can be sealed against a
+                        # temporary key recovered under the wrong epoch
+                        # (providers without authenticated decryption
+                        # yield garbage instead of raising upstream).
+                        # Treat exactly like a retryable error: the
+                        # retry re-encodes under the current epoch.
+                        self.retryable_errors += 1
+                        if not hedged and call_state["retries"] < self.max_retries:
+                            retry_after(attempt_request, attempt_keys)
+                            return
+                        if hedged:
+                            live_ids.discard(attempt_request.request_id)
+                            if telemetry is not None:
+                                telemetry.tracer.abandon(attempt_request.request_id)
+                            return
+                        settle(False, [], attempt_request.request_id)
+                        return
                 settle(response.ok, items, attempt_request.request_id, hedged=hedged)
 
             def reply_to_client(response: Response) -> None:

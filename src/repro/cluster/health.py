@@ -42,6 +42,10 @@ class HealthMonitor:
     #: sojourn exceeds this; cleared when it drops back under.  ``None``
     #: disables overload probing.
     overload_sojourn_threshold: Optional[float] = None
+    #: Readmissions that first required re-provisioning because the
+    #: instance's enclave held a stale key generation (it restarted or
+    #: was partitioned across an epoch announcement).
+    stale_generation_blocks: int = 0
     _running: bool = False
     _ejected_at: Dict[str, float] = field(default_factory=dict)
     _overloaded_now: set = field(default_factory=set)
@@ -85,12 +89,37 @@ class HealthMonitor:
                         )
                 elif instance.alive and not balancer.contains(instance):
                     # Readiness passed: the instance restarted with a
-                    # freshly attested, re-provisioned enclave.
+                    # freshly attested, re-provisioned enclave.  Before
+                    # readmitting, re-verify its key generation — an
+                    # enclave that missed an epoch announcement (or was
+                    # restarted from a stale image) must never rejoin
+                    # the balancer mid-rotation with old keys.
+                    self._verify_generation(instance, balancer)
                     balancer.readmit(instance)
                     self.readmitted.append(instance.name)
                     self._record_recovery(instance, balancer.name)
                 self._probe_overload(instance)
         self.loop.schedule(self.interval, self._probe)
+
+    def _verify_generation(self, instance, balancer) -> None:
+        """Re-provision *instance* if its enclave's key generation is
+        stale (guarded getattr: pre-epoch provisioners verify nothing)."""
+        provisioner = getattr(self.service, "provisioner", None)
+        verify = getattr(provisioner, "verify_generation", None)
+        if verify is None or verify(instance.enclave):
+            return
+        layer = "UA" if balancer is self.service.ua_balancer else "IA"
+        provisioner.reprovision(layer, instance.enclave)
+        self.stale_generation_blocks += 1
+        if self.telemetry is not None:
+            self.telemetry.emit_fault(
+                "operator",
+                {
+                    "event": "stale_generation_reprovisioned",
+                    "instance": instance.name,
+                    "layer": layer,
+                },
+            )
 
     def _probe_overload(self, instance) -> None:
         """Edge-triggered operator events from the overload signal."""

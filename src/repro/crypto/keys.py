@@ -10,6 +10,7 @@ back through the UA layer.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -52,6 +53,18 @@ class LayerKeys:
     def public_material(self) -> LayerPublicMaterial:
         """The publishable half of this material."""
         return LayerPublicMaterial(public_key=self.private_key.public_key)
+
+    @property
+    def fingerprint(self) -> str:
+        """Short digest of the public modulus.
+
+        Identity-free (derived from public material only — no secret
+        bytes enter the hash) and stable per generation, so telemetry
+        can correlate an epoch announcement with the keys an enclave
+        was provisioned without ever serializing key material.
+        """
+        modulus = self.private_key.public_key.n
+        return hashlib.sha256(str(modulus).encode("ascii")).hexdigest()[:16]
 
 
 @dataclass

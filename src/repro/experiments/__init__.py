@@ -24,6 +24,12 @@ from repro.experiments.overload import (
     overload_cost_model,
     run_overload,
 )
+from repro.experiments.rotation import (
+    RotationResult,
+    default_rotation_config,
+    default_rotation_plan,
+    run_rotation,
+)
 from repro.experiments.runner import RunResult, run_baseline, run_full, run_micro
 from repro.experiments.report import (
     render_figure,
@@ -53,6 +59,10 @@ __all__ = [
     "default_overload_policy",
     "overload_cost_model",
     "run_overload",
+    "RotationResult",
+    "default_rotation_config",
+    "default_rotation_plan",
+    "run_rotation",
     "run_micro",
     "run_baseline",
     "run_full",

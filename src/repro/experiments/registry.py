@@ -177,6 +177,23 @@ EXPERIMENT_INDEX: Dict[str, Experiment] = {
             "every reject is the canonical padded message on protected hops",
         ),
     ),
+    "rotation": Experiment(
+        identifier="rotation",
+        title="Epoch-based live re-key without downtime",
+        workload="mixed gets/posts through the full stack while the UA keys rotate",
+        modules=(
+            "repro.proxy.epochs",
+            "repro.proxy.rekey",
+            "repro.experiments.rotation",
+        ),
+        bench="tests/test_rotation_scenario.py",
+        claims=(
+            "the drill completes under live traffic with zero aborted requests",
+            "released shuffle batches never drop the anonymity set below S*I",
+            "a crash of the rotating instance pauses the drill, never aborts it",
+            "no wire pseudonym is linkable across epochs",
+        ),
+    ),
     "ablations": Experiment(
         identifier="ablations",
         title="Design-choice ablations",

@@ -98,6 +98,10 @@ class FaultSupervisor:
             "instance": instance.name,
             "generation": instance.generation,
             "attested": instance.enclave.attested,
+            # Key generation the fresh enclave was provisioned at: lets
+            # a rotation post-mortem confirm that a mid-drill restart
+            # came back on the current epoch, not a stale one.
+            "key_generation": getattr(self.service.provisioner, "key_generation", 0),
         })
 
     def _inject_partition(self, event: FaultEvent) -> None:

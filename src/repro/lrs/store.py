@@ -12,6 +12,7 @@ adversary* ("can access any data manipulated by the LRS", §2.3) — the
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -48,6 +49,47 @@ class EventStore:
         self._by_user[user].append(event.sequence)
         self._by_item[item].append(event.sequence)
         return event
+
+    def rewrite(
+        self, sequence: int, *, user: Optional[str] = None, item: Optional[str] = None
+    ) -> FeedbackEvent:
+        """Replace identifier columns of one stored event, in place.
+
+        Used by the online re-key pass: the record keeps its sequence
+        and payload, only the pseudonymous identifiers change, and the
+        per-user/per-item indexes stay consistent so lookups served
+        between re-key batches remain correct.
+        """
+        event = self.events[sequence]
+        new_user = user if user is not None else event.user
+        new_item = item if item is not None else event.item
+        if new_user == event.user and new_item == event.item:
+            return event
+        updated = FeedbackEvent(
+            user=new_user, item=new_item, payload=event.payload, sequence=sequence
+        )
+        self.events[sequence] = updated
+        if new_user != event.user:
+            self._move_index(self._by_user, event.user, new_user, sequence)
+        if new_item != event.item:
+            self._move_index(self._by_item, event.item, new_item, sequence)
+        return updated
+
+    def _move_index(
+        self, index: Dict[str, List[int]], old_key: str, new_key: str, sequence: int
+    ) -> None:
+        entries = index.get(old_key)
+        if entries is not None:
+            try:
+                entries.remove(sequence)
+            except ValueError:
+                pass
+            if not entries:
+                del index[old_key]
+        # Insertion keeps each index list sorted by sequence (inserts
+        # only ever append increasing sequences, so insort preserves
+        # the "most recent last" contract of user_history).
+        insort(index[new_key], sequence)
 
     def user_history(self, user: str, limit: Optional[int] = None) -> List[str]:
         """Items the user interacted with, most recent last."""

@@ -162,3 +162,35 @@ class Adversary:
             if obs.source.startswith(address_prefix)
             or obs.destination.startswith(address_prefix)
         ]
+
+    def pseudonyms_observed(
+        self,
+        hops: Any = (("ua", "ia"), ("ia", "lrs")),
+        since: float = 0.0,
+        until: Optional[float] = None,
+    ) -> Dict[str, Set[str]]:
+        """Distinct user/item pseudonym strings seen on the inner hops.
+
+        The cross-epoch linkage probe: collect the pseudonym sets the
+        adversary observed before and after a key rotation and check
+        they are disjoint — under the new symmetric keys, no wire
+        identifier from the old epoch should ever reappear, so a key
+        thief who harvested pre-rotation traffic cannot join it with
+        post-rotation traffic by field-value equality.
+        """
+        from repro.privacy.wire import hop_of
+
+        wanted = {tuple(hop) for hop in hops}
+        seen: Dict[str, Set[str]] = {"user": set(), "item": set()}
+        for obs in self.observations:
+            if obs.kind != "request":
+                continue
+            if obs.time < since or (until is not None and obs.time > until):
+                continue
+            if hop_of(obs) not in wanted:
+                continue
+            for name in ("user", "item"):
+                value = obs.fields.get(name)
+                if isinstance(value, str):
+                    seen[name].add(value)
+        return seen

@@ -20,6 +20,7 @@ __all__ = [
     "hop_of",
     "flow_size_profile",
     "constant_size_violations",
+    "epoch_tag_exposures",
     "RejectAuditor",
 ]
 
@@ -69,6 +70,41 @@ def constant_size_violations(
         sizes = profile.get(hop, set())
         if len(sizes) > 1 and max(sizes) - min(sizes) > tolerance:
             violations.append(f"{hop[0]}->{hop[1]}: sizes {sorted(sizes)}")
+    return violations
+
+
+def epoch_tag_exposures(
+    observations: Sequence[Any],
+    allowed_hops: Sequence[Tuple[str, str]] = (("client", "ua"),),
+) -> List[str]:
+    """Epoch tags observed on hops where they must never appear.
+
+    During a live rotation the fixed-width epoch tag rides only the
+    client->UA hop; the UA strips it *before* the request can enter a
+    shuffle buffer, so ua->ia / ia->lrs / return traffic must be
+    tag-free — otherwise the adversary could partition a shuffle batch
+    by epoch and thin the anonymity set below ``S*I``.
+
+    *observations* are wiretap captures with ``source``/``destination``
+    and a ``fields`` dict (e.g. :class:`repro.privacy.adversary.
+    ObservedMessage`); anything without fields is skipped.  Returns
+    human-readable findings, empty when clean.
+    """
+    from repro.proxy.epochs import EPOCH_FIELD
+
+    allowed = {tuple(hop) for hop in allowed_hops}
+    violations: List[str] = []
+    for obs in observations:
+        fields = getattr(obs, "fields", None)
+        if not fields or EPOCH_FIELD not in fields:
+            continue
+        hop = hop_of(obs)
+        if hop in allowed:
+            continue
+        violations.append(
+            f"{hop[0]}->{hop[1]}: epoch tag {fields[EPOCH_FIELD]!r} "
+            f"visible at t={getattr(obs, 'time', '?')}"
+        )
     return violations
 
 

@@ -24,7 +24,20 @@ from repro.proxy.protocol import (
     ua_wrap_response,
 )
 from repro.proxy.service import IA_CODE_IDENTITY, UA_CODE_IDENTITY, PProxService, build_pprox
-from repro.proxy.rekey import RekeyReport, reencrypt_store
+from repro.proxy.rekey import OnlineRekeyer, RekeyReport, reencrypt_store
+from repro.proxy.epochs import (
+    EPOCH_FIELD,
+    ROTATION_STATES,
+    EpochWindow,
+    KeyEpoch,
+    RotationCoordinator,
+    decode_epoch,
+    encode_epoch,
+    epoch_window_of,
+    stamp_epoch,
+    strip_epoch,
+    window_candidates,
+)
 from repro.proxy.shuffler import ShuffleBuffer
 
 __all__ = [
@@ -36,7 +49,19 @@ __all__ = [
     "ProxyRuntime",
     "ShuffleBuffer",
     "RekeyReport",
+    "OnlineRekeyer",
     "reencrypt_store",
+    "EPOCH_FIELD",
+    "ROTATION_STATES",
+    "EpochWindow",
+    "KeyEpoch",
+    "RotationCoordinator",
+    "decode_epoch",
+    "encode_epoch",
+    "epoch_window_of",
+    "stamp_epoch",
+    "strip_epoch",
+    "window_candidates",
     "CallKeys",
     "ClientMaterial",
     "IaRequestContext",

@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Set, Tuple
 
+from repro.crypto.envelope import decode_identifier, unb64
 from repro.crypto.keys import LayerKeys
 from repro.crypto.provider import CryptoProvider
 from repro.overload.admission import AdmissionController, OverloadSignal
@@ -34,8 +35,14 @@ from repro.overload.shedding import (
 from repro.proxy import protocol
 from repro.proxy.config import PProxConfig
 from repro.proxy.costs import ProxyCostModel
+from repro.proxy.epochs import (
+    EPOCH_FIELD,
+    epoch_window_of,
+    strip_epoch,
+    window_candidates,
+)
 from repro.proxy.shuffler import ShuffleBuffer
-from repro.rest.messages import Request, Response
+from repro.rest.messages import Request, Response, Verb
 from repro.rest.routing import RoutingTable
 from repro.sgx.enclave import Enclave
 from repro.simnet.clock import EventLoop
@@ -148,6 +155,16 @@ class UserAnonymizer:
     #: Responses dropped because their routing entry did not survive a
     #: crash/restart (the client recovers via timeout + retry).
     stale_responses: int = 0
+    #: Requests decrypted under the previous epoch's private key during
+    #: a dual-epoch window (always re-encrypted forward under the new).
+    previous_epoch_decrypts: int = 0
+    #: Virtual time the previous epoch's keys were last needed; the
+    #: rotation coordinator retires the old epoch only after this has
+    #: been quiet longer than the shuffle timeout.
+    last_previous_epoch_use: Optional[float] = None
+    #: Epoch tags stripped at the front door (pre-shuffle, so batches
+    #: never carry an epoch marker an adversary could partition by).
+    epoch_tags_seen: int = 0
     #: Bounded ingress queue (overload mode only; ``None`` otherwise).
     ingress: Optional[ConcurrentQueue] = None
     #: Front-door admission controller (overload mode only).
@@ -302,6 +319,14 @@ class UserAnonymizer:
         """Entry point for a client request delivered by the network."""
         if not self.alive:
             return
+        if EPOCH_FIELD in request.fields:
+            # Strip the epoch tag before the request can enter the
+            # shuffle buffer: whatever a batch holds is tag-free, so
+            # its composition can never be partitioned by epoch.  The
+            # tag is only a hint anyway — decryption trials run
+            # active-epoch-first regardless.
+            request, _ = strip_epoch(request)
+            self.epoch_tags_seen += 1
         if self.ingress is None:
             entry = (request, reply)
             if self.request_buffer is not None:
@@ -384,14 +409,7 @@ class UserAnonymizer:
             return
         ecalls_before = self.enclave.ecall_count
         try:
-            keys = (
-                self._keys_for(_tenant_of(request))
-                if self.runtime.config.encryption
-                else None
-            )
-            transformed, response_key = protocol.ua_transform_request(
-                self.runtime.provider, keys, self.runtime.config, request, self.address
-            )
+            transformed, response_key = self._transform_request(request)
         except Exception as exc:
             # Stale client material vs. rotated layer keys (breach
             # response mid-flight): reject retryably, never crash.
@@ -522,6 +540,52 @@ class UserAnonymizer:
 
         return _layer_keys(self.enclave, UA_SECRET_SK, UA_SECRET_K)
 
+    def _transform_request(self, request: Request) -> Tuple[Request, Optional[bytes]]:
+        """UA transform, dual-epoch aware.
+
+        Outside a rotation window this is exactly the legacy single-key
+        call (zero extra ecalls — the window check is host-side).
+        During a window, decryption is trialled under the active then
+        the previous private key; the forward pseudonym is minted under
+        the active symmetric key either way, so nothing downstream of
+        this enclave ever sees an old-epoch identifier again.
+        """
+        config = self.runtime.config
+        provider = self.runtime.provider
+        if not config.encryption:
+            return protocol.ua_transform_request(
+                provider, None, config, request, self.address
+            )
+        active = self._keys_for(_tenant_of(request))
+        window = epoch_window_of(self.enclave)
+        if window is None:
+            return protocol.ua_transform_request(
+                provider, active, config, request, self.address
+            )
+        last_error: Optional[Exception] = None
+        for candidate, is_previous in window_candidates(self.enclave, active, window):
+            try:
+                if not config.harden_client_hop:
+                    # Providers without authenticated decryption return
+                    # garbage (not an exception) under the wrong key;
+                    # the fixed-size identifier encoding acts as the
+                    # validator.  Hardened mode self-validates via its
+                    # JSON envelope inside the transform.
+                    decode_identifier(
+                        provider.asym_decrypt(candidate, unb64(request.fields["user"]))
+                    )
+                result = protocol.ua_transform_request(
+                    provider, candidate, config, request, self.address
+                )
+            except Exception as exc:
+                last_error = exc
+                continue
+            if is_previous:
+                self.previous_epoch_decrypts += 1
+                self.last_previous_epoch_use = self.runtime.loop.now
+            return result
+        raise last_error  # type: ignore[misc]  # loop ran at least once
+
 
 @dataclass
 class ItemAnonymizer:
@@ -543,6 +607,9 @@ class ItemAnonymizer:
     generation: int = 0
     transform_errors: int = 0
     stale_responses: int = 0
+    #: Dual-epoch accounting (see :class:`UserAnonymizer`).
+    previous_epoch_decrypts: int = 0
+    last_previous_epoch_use: Optional[float] = None
     #: Bounded ingress queue (overload mode only; ``None`` otherwise).
     ingress: Optional[ConcurrentQueue] = None
     #: Requests shed at this instance, keyed by ``(stage, reason)``.
@@ -738,14 +805,7 @@ class ItemAnonymizer:
             return
         ecalls_before = self.enclave.ecall_count
         try:
-            keys = (
-                self._keys_for(_tenant_of(request))
-                if self.runtime.config.encryption
-                else None
-            )
-            transformed, context = protocol.ia_transform_request(
-                self.runtime.provider, keys, self.runtime.config, request, self.address
-            )
+            transformed, context = self._transform_request(request)
         except Exception as exc:
             self.transform_errors += 1
             reply(transform_error_response(request, exc))
@@ -860,8 +920,15 @@ class ItemAnonymizer:
             keys = (
                 self._keys_for(context.tenant) if self.runtime.config.encryption else None
             )
+            previous = self._previous_keys() if keys is not None else None
             transformed = protocol.ia_transform_response(
-                self.runtime.provider, keys, self.runtime.config, context, response
+                self.runtime.provider,
+                keys,
+                self.runtime.config,
+                context,
+                response,
+                previous=previous,
+                on_previous_use=self._note_previous_use,
             )
         except Exception as exc:
             del exc
@@ -901,3 +968,58 @@ class ItemAnonymizer:
         from repro.sgx.provisioning import IA_SECRET_K, IA_SECRET_SK
 
         return _layer_keys(self.enclave, IA_SECRET_SK, IA_SECRET_K)
+
+    def _note_previous_use(self) -> None:
+        self.previous_epoch_decrypts += 1
+        self.last_previous_epoch_use = self.runtime.loop.now
+
+    def _previous_keys(self) -> Optional[LayerKeys]:
+        """Previous-epoch key material while a window is open (the
+        presence check is host-side; reading the slots is an ecall)."""
+        window = epoch_window_of(self.enclave)
+        if window is None:
+            return None
+        prev_sk_slot, prev_k_slot = window.secret_slots()
+        return _layer_keys(self.enclave, prev_sk_slot, prev_k_slot)
+
+    def _transform_request(self, request: Request) -> Tuple[Request, "protocol.IaRequestContext"]:
+        """IA transform, dual-epoch aware (see :meth:`UserAnonymizer.
+        _transform_request`).
+
+        POSTs are validated through the fixed-size identifier encoding
+        before committing to a candidate key.  GET temporary keys are
+        32 opaque bytes with no structure to validate, so under a
+        provider whose wrong-key decryption returns garbage silently
+        the active-epoch trial always "wins"; a stale-epoch GET then
+        yields an undecodable blob and heals through the client's
+        decode-failure retry, re-encoded under the current epoch.
+        """
+        config = self.runtime.config
+        provider = self.runtime.provider
+        if not config.encryption:
+            return protocol.ia_transform_request(
+                provider, None, config, request, self.address
+            )
+        active = self._keys_for(_tenant_of(request))
+        window = epoch_window_of(self.enclave)
+        if window is None:
+            return protocol.ia_transform_request(
+                provider, active, config, request, self.address
+            )
+        last_error: Optional[Exception] = None
+        for candidate, is_previous in window_candidates(self.enclave, active, window):
+            try:
+                if request.verb == Verb.POST:
+                    decode_identifier(
+                        provider.asym_decrypt(candidate, unb64(request.fields["item"]))
+                    )
+                result = protocol.ia_transform_request(
+                    provider, candidate, config, request, self.address
+                )
+            except Exception as exc:
+                last_error = exc
+                continue
+            if is_previous:
+                self._note_previous_use()
+            return result
+        raise last_error  # type: ignore[misc]  # loop ran at least once

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.crypto.envelope import (
     MAX_RECOMMENDATIONS,
@@ -331,12 +331,44 @@ def ia_transform_response(
     config: PProxConfig,
     context: IaRequestContext,
     response: Response,
+    *,
+    previous: Optional[LayerKeys] = None,
+    on_previous_use: Optional[Callable[[], None]] = None,
 ) -> Response:
-    """IA response leg: de-pseudonymize, pad, re-encrypt under ``k_u``."""
+    """IA response leg: de-pseudonymize, pad, re-encrypt under ``k_u``.
+
+    During a dual-epoch window *previous* carries the outgoing epoch's
+    keys: the LRS may still return pseudonyms minted under them while
+    the background re-encryption is catching up, so each entry falls
+    back to the previous symmetric key when the active one cannot
+    resolve it.  *on_previous_use* fires once per response that needed
+    the fallback — the rotation coordinator uses it to know the old
+    epoch is still live and must not be retired yet.
+    """
     if not config.encryption or context.verb == Verb.POST or not response.ok:
         return response
     raw_items = response.fields.get("items", [])
-    if config.item_pseudonymization:
+    if config.item_pseudonymization and previous is not None:
+        cleartext = []
+        fell_back = False
+        for item in raw_items:
+            pseudonym = unb64(item)
+            try:
+                cleartext.append(
+                    decode_identifier(
+                        provider.depseudonymize(keys.symmetric_key, pseudonym)
+                    )
+                )
+            except Exception:
+                cleartext.append(
+                    decode_identifier(
+                        provider.depseudonymize(previous.symmetric_key, pseudonym)
+                    )
+                )
+                fell_back = True
+        if fell_back and on_previous_use is not None:
+            on_previous_use()
+    elif config.item_pseudonymization:
         # One batched provider call for the whole 20-entry list: lets
         # providers amortize per-call overhead and hit the pseudonym
         # memo in a tight loop.

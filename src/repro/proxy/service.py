@@ -83,9 +83,33 @@ class PProxService:
             ia=self.provisioner.layer_keys["IA"].public_material,
         )
 
+    @property
+    def wire_epochs(self) -> Optional[Dict[str, int]]:
+        """Per-layer active epoch ids for client request stamping.
+
+        ``None`` until the first online rotation: legacy deployments
+        stamp nothing and stay byte-identical on the wire.
+        """
+        if not self.provisioner.epochs_enabled:
+            return None
+        return {
+            "UA": self.provisioner.active_epoch("UA"),
+            "IA": self.provisioner.active_epoch("IA"),
+        }
+
     def entry(self) -> UserAnonymizer:
         """Pick the UA instance serving the next client request."""
         return self.ua_balancer.pick()
+
+    def layer_instances(
+        self, layer: str
+    ) -> Union[List[UserAnonymizer], List[ItemAnonymizer]]:
+        """The instance list of *layer* (``"UA"`` or ``"IA"``)."""
+        if layer == "UA":
+            return self.ua_instances
+        if layer == "IA":
+            return self.ia_instances
+        raise ValueError(f"unknown layer {layer!r}; expected 'UA' or 'IA'")
 
     def all_enclaves(self) -> List[Enclave]:
         """Every enclave of both layers (for the breach detector)."""
@@ -183,6 +207,34 @@ class PProxService:
         ]
         self.provisioner.rotate_layer(layer, new_keys, enclaves)
         return new_keys
+
+    # -- online rotation (epochs) --------------------------------------
+
+    def announce_epoch(self, layer: str, new_keys: LayerKeys) -> Tuple[int, int]:
+        """Open a dual-epoch window on *layer*'s alive enclaves.
+
+        Dead instances are deliberately skipped — their enclaves are
+        rebuilt from scratch at restart (which provisions the current
+        generation), and the rotation coordinator's coverage pass heals
+        any alive enclave that missed the flip.  Returns
+        ``(old_epoch, new_epoch)``.
+        """
+        enclaves = [
+            instance.enclave
+            for instance in self.layer_instances(layer)
+            if instance.alive
+        ]
+        return self.provisioner.announce_epoch(layer, new_keys, enclaves)
+
+    def retire_epoch(self, layer: str) -> int:
+        """Close *layer*'s window: wipe the previous-epoch secrets from
+        every alive enclave.  Returns the retired epoch id."""
+        enclaves = [
+            instance.enclave
+            for instance in self.layer_instances(layer)
+            if instance.alive
+        ]
+        return self.provisioner.retire_epoch(layer, enclaves)
 
     def breach_response(self, layer: str, factory: KeyFactory, lrs_store=None) -> LayerKeys:
         """Full breach response (footnote 1, option 1).

@@ -46,6 +46,11 @@ class ShuffleBuffer:
     drains: int = 0
     entries_drained: int = 0
     last_flush_size: Optional[int] = None
+    #: Smallest batch ever *released to the wire* by this buffer (the
+    #: worst effective ``S`` over its lifetime).  Crash drains are
+    #: excluded — a drained batch is discarded, never released, so it
+    #: cannot thin what an adversary observes.
+    min_flush_size: Optional[int] = None
     #: Wait time of the entry currently being released (valid only
     #: inside the ``release`` callback).
     last_wait: float = 0.0
@@ -116,6 +121,8 @@ class ShuffleBuffer:
         if timer_fired:
             self.timer_flushes += 1
         self.last_flush_size = len(batch)
+        if self.min_flush_size is None or len(batch) < self.min_flush_size:
+            self.min_flush_size = len(batch)
         if self.on_flush is not None:
             self.on_flush(len(batch), timer_fired)
         now = self.loop.now

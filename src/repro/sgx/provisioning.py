@@ -5,25 +5,102 @@ the layer keys and provisions each enclave after attesting it (§4.1).
 New enclaves created by horizontal scaling go through the same flow:
 "new enclaves are attested upon their bootstrap before being
 provisioned with the corresponding keys" (§5).
+
+Epoch support (live re-key)
+---------------------------
+
+The offline breach response (:meth:`KeyProvisioner.rotate_layer`)
+stops the world: every enclave is wiped and re-provisioned at once.
+The *online* rotation drill instead runs the two key generations side
+by side for a bounded window:
+
+* each layer has a monotonically increasing **epoch id**; the keys in
+  the base sealed slots (``skUA``/``kUA``/``skIA``/``kIA``) are always
+  the *active* epoch, so code that never heard of epochs keeps working;
+* during a dual-epoch window the previous generation is additionally
+  sealed under suffixed slots (``skUA@e3`` …) plus a small
+  :class:`EpochWindow` descriptor, letting the layers trial-decrypt
+  old-epoch traffic while always re-encrypting forward under the new
+  keys;
+* a **key generation** counter is bumped on every announce/retire, and
+  the generation each enclave last saw is recorded — a restarted or
+  partitioned enclave that missed an announcement is detectable (and
+  re-provisionable) by comparing generations.
+
+The :class:`EpochWindow` dataclass and the slot helpers are defined
+here rather than in :mod:`repro.proxy.epochs` because the proxy
+package imports this module at init time; keeping the dependency
+one-way avoids a cycle.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.crypto.keys import LayerKeys
 from repro.sgx.attestation import AttestationService
 from repro.sgx.enclave import Enclave, EnclaveMeasurement
 
-__all__ = ["KeyProvisioner", "UA_SECRET_SK", "UA_SECRET_K", "IA_SECRET_SK", "IA_SECRET_K"]
+__all__ = [
+    "KeyProvisioner",
+    "EpochWindow",
+    "epoch_slot",
+    "UA_SECRET_SK",
+    "UA_SECRET_K",
+    "IA_SECRET_SK",
+    "IA_SECRET_K",
+    "EPOCH_WINDOW_SLOT",
+]
 
 # Sealed-store slot names for the four layer secrets of Table 1.
 UA_SECRET_SK = "skUA"
 UA_SECRET_K = "kUA"
 IA_SECRET_SK = "skIA"
 IA_SECRET_K = "kIA"
+
+#: Sealed-store slot holding the :class:`EpochWindow` descriptor while
+#: a dual-epoch acceptance window is open (absent otherwise, so legacy
+#: deployments never pay an ecall for it).
+EPOCH_WINDOW_SLOT = "epochWindow"
+
+
+def epoch_slot(base: str, epoch_id: int) -> str:
+    """Sealed-store slot for a *previous*-epoch secret (``skUA@e3``)."""
+    return f"{base}@e{epoch_id}"
+
+
+@dataclass(frozen=True)
+class EpochWindow:
+    """Descriptor of one layer's open dual-epoch acceptance window.
+
+    Sealed into every enclave of the rotating layer at announce time;
+    removed again at retirement.  ``active_epoch`` is the generation in
+    the base slots (all forward encryption), ``previous_epoch`` the one
+    still accepted for decryption.
+    """
+
+    layer: str
+    active_epoch: int
+    previous_epoch: int
+
+    def secret_slots(self) -> Tuple[str, str]:
+        """(private-key slot, symmetric-key slot) of the previous epoch."""
+        sk_base = UA_SECRET_SK if self.layer == "UA" else IA_SECRET_SK
+        k_base = UA_SECRET_K if self.layer == "UA" else IA_SECRET_K
+        return (
+            epoch_slot(sk_base, self.previous_epoch),
+            epoch_slot(k_base, self.previous_epoch),
+        )
+
+
+def _base_slots(layer: str) -> Tuple[str, str]:
+    if layer == "UA":
+        return UA_SECRET_SK, UA_SECRET_K
+    if layer == "IA":
+        return IA_SECRET_SK, IA_SECRET_K
+    raise ValueError(f"unknown layer {layer!r}; expected 'UA' or 'IA'")
 
 
 @dataclass
@@ -40,6 +117,57 @@ class KeyProvisioner:
     layer_keys: Dict[str, LayerKeys]
     rng_bytes: Callable[[int], bytes] = field(default=os.urandom)
     provisioned_count: int = 0
+    #: Per-layer epoch ids; epoch 0 is the deploy-time generation.
+    epoch_ids: Dict[str, int] = field(default_factory=dict)
+    #: Previous-generation keys per layer while a window is open:
+    #: ``layer -> (previous_epoch_id, keys)``.
+    previous_keys: Dict[str, Tuple[int, LayerKeys]] = field(default_factory=dict)
+    #: Bumped on every announce/retire/rotate; enclaves provisioned at
+    #: an older generation are stale and must be re-provisioned.
+    key_generation: int = 0
+    #: Generation each enclave last received secrets at, by name.
+    enclave_generations: Dict[str, int] = field(default_factory=dict)
+    #: Set once the first epoch is announced; gates all epoch ecalls so
+    #: legacy deployments are byte-identical to pre-epoch builds.
+    epochs_enabled: bool = False
+
+    def active_epoch(self, layer: str) -> int:
+        """Current epoch id of *layer* (0 until a rotation happens)."""
+        return self.epoch_ids.get(layer, 0)
+
+    def epoch_window(self, layer: str) -> Optional[EpochWindow]:
+        """The open dual-epoch window of *layer*, if any."""
+        held = self.previous_keys.get(layer)
+        if held is None:
+            return None
+        return EpochWindow(
+            layer=layer,
+            active_epoch=self.active_epoch(layer),
+            previous_epoch=held[0],
+        )
+
+    def secrets_for(self, layer: str) -> Dict[str, object]:
+        """Full sealed-secret dict for one enclave of *layer*.
+
+        Base slots always carry the active keys; while a window is
+        open the previous generation rides along under suffixed slots
+        together with the :class:`EpochWindow` descriptor.
+        """
+        sk_slot, k_slot = _base_slots(layer)
+        keys = self.layer_keys[layer]
+        secrets: Dict[str, object] = {
+            sk_slot: keys.private_key,
+            k_slot: keys.symmetric_key,
+        }
+        if self.epochs_enabled:
+            window = self.epoch_window(layer)
+            if window is not None:
+                prev_sk_slot, prev_k_slot = window.secret_slots()
+                _, prev = self.previous_keys[layer]
+                secrets[prev_sk_slot] = prev.private_key
+                secrets[prev_k_slot] = prev.symmetric_key
+                secrets[EPOCH_WINDOW_SLOT] = window
+        return secrets
 
     def provision(self, layer: str, enclave: Enclave) -> None:
         """Attest *enclave* and install the secrets of *layer* into it.
@@ -53,22 +181,82 @@ class KeyProvisioner:
         quote = self.attestation.quote(enclave, nonce)
         self.attestation.verify(quote, expected, nonce)
         enclave.attested = True
-        keys = self.layer_keys[layer]
-        if layer == "UA":
-            secrets = {UA_SECRET_SK: keys.private_key, UA_SECRET_K: keys.symmetric_key}
-        elif layer == "IA":
-            secrets = {IA_SECRET_SK: keys.private_key, IA_SECRET_K: keys.symmetric_key}
-        else:
-            raise ValueError(f"unknown layer {layer!r}; expected 'UA' or 'IA'")
-        enclave.provision(secrets)
+        _base_slots(layer)  # validates the layer name
+        enclave.provision(self.secrets_for(layer))
+        self.enclave_generations[enclave.name] = self.key_generation
         self.provisioned_count += 1
 
-    def rotate_layer(self, layer: str, new_keys: LayerKeys, enclaves: list) -> None:
-        """Breach response: install fresh keys into every layer enclave."""
+    def verify_generation(self, enclave: Enclave) -> bool:
+        """True iff *enclave* holds the current key generation.
+
+        A crashed-and-restarted or partitioned enclave that missed an
+        epoch announcement shows a stale recorded generation here; the
+        health monitor refuses to readmit it until re-provisioned.
+        """
+        return self.enclave_generations.get(enclave.name) == self.key_generation
+
+    def reprovision(self, layer: str, enclave: Enclave) -> None:
+        """Idempotent re-announce: refresh one enclave to the current
+        generation (fresh attestation round-trip included)."""
+        nonce = self.rng_bytes(16)
+        quote = self.attestation.quote(enclave, nonce)
+        self.attestation.verify(quote, self.expected_measurements[layer], nonce)
+        enclave.attested = True
+        enclave.rotate(self.secrets_for(layer))
+        self.enclave_generations[enclave.name] = self.key_generation
+
+    def announce_epoch(
+        self, layer: str, new_keys: LayerKeys, enclaves: Iterable[Enclave]
+    ) -> Tuple[int, int]:
+        """Open a dual-epoch window: flip *layer* to *new_keys* now.
+
+        The new generation becomes active immediately (base slots, all
+        forward pseudonymization); the outgoing generation stays
+        decryptable under its suffixed slots until
+        :meth:`retire_epoch`.  Returns ``(old_epoch, new_epoch)``.
+        """
+        if layer in self.previous_keys:
+            raise ValueError(
+                f"layer {layer!r} already has an open epoch window; retire it first"
+            )
+        _base_slots(layer)
+        old_id = self.active_epoch(layer)
+        new_id = old_id + 1
+        self.previous_keys[layer] = (old_id, self.layer_keys[layer])
         self.layer_keys[layer] = new_keys
+        self.epoch_ids[layer] = new_id
+        self.epochs_enabled = True
+        self.key_generation += 1
         for enclave in enclaves:
-            if layer == "UA":
-                secrets = {UA_SECRET_SK: new_keys.private_key, UA_SECRET_K: new_keys.symmetric_key}
-            else:
-                secrets = {IA_SECRET_SK: new_keys.private_key, IA_SECRET_K: new_keys.symmetric_key}
-            enclave.rotate(secrets)
+            enclave.rotate(self.secrets_for(layer))
+            self.enclave_generations[enclave.name] = self.key_generation
+        return old_id, new_id
+
+    def retire_epoch(self, layer: str, enclaves: Iterable[Enclave]) -> int:
+        """Close *layer*'s window: drop the previous generation.
+
+        Every enclave is rotated to base-slots-only secrets (the old
+        keys are wiped from sealed memory).  Returns the retired id.
+        """
+        held = self.previous_keys.pop(layer, None)
+        if held is None:
+            raise ValueError(f"layer {layer!r} has no open epoch window")
+        self.key_generation += 1
+        for enclave in enclaves:
+            enclave.rotate(self.secrets_for(layer))
+            self.enclave_generations[enclave.name] = self.key_generation
+        return held[0]
+
+    def rotate_layer(self, layer: str, new_keys: LayerKeys, enclaves: list) -> None:
+        """Breach response: install fresh keys into every layer enclave.
+
+        Stop-the-world semantics: any open window is closed and the
+        outgoing generation becomes undecryptable immediately.
+        """
+        self.previous_keys.pop(layer, None)
+        self.layer_keys[layer] = new_keys
+        self.epoch_ids[layer] = self.active_epoch(layer) + 1 if self.epochs_enabled else 0
+        self.key_generation += 1
+        for enclave in enclaves:
+            enclave.rotate(self.secrets_for(layer))
+            self.enclave_generations[enclave.name] = self.key_generation

@@ -36,6 +36,7 @@ __all__ = [
     "instrument_network",
     "instrument_recovery",
     "instrument_overload",
+    "instrument_rotation",
     "instrument_stack",
 ]
 
@@ -435,6 +436,55 @@ def instrument_overload(telemetry: Any, *, service: Any = None, guard: Any = Non
             )
 
 
+def instrument_rotation(telemetry: Any, rotation: Any) -> None:
+    """Register epoch-rotation drill instruments.
+
+    *rotation* is a :class:`repro.proxy.epochs.RotationCoordinator`
+    (duck-typed).  All instruments are collect-time callbacks over the
+    coordinator's own bookkeeping — nothing here touches the request
+    path — and labels carry only the rotating layer name, never key
+    material or identifiers, so every series passes the redaction
+    audit unscrubbed.
+    """
+    registry = telemetry.registry
+    labels = {"layer": rotation.layer}
+    registry.gauge(
+        "pprox_rotation_state",
+        "Rotation drill state (index into ROTATION_STATES; reports the "
+        "'paused' index while the drill is stalled).",
+        labels,
+        callback=lambda: rotation.state_code,
+    )
+    registry.gauge(
+        "pprox_rekey_progress_ratio",
+        "Fraction of the pre-announce LRS prefix re-encrypted under the "
+        "new epoch (cut-over barrier reaches 1.0).",
+        labels,
+        callback=lambda: rotation.progress_ratio,
+    )
+    registry.gauge(
+        "pprox_dual_epoch_window_seconds",
+        "How long the dual-epoch acceptance window has been open "
+        "(0 before the announce; frozen at retirement).",
+        labels,
+        callback=lambda: rotation.dual_window_seconds,
+    )
+    registry.counter(
+        "pprox_rotation_pauses_total",
+        "Times the drill paused rather than risk the anonymity floor "
+        "(instance down, thin flush, or overload).",
+        labels,
+        callback=lambda: rotation.pauses,
+    )
+    registry.counter(
+        "pprox_epoch_reprovisions_total",
+        "Stale alive enclaves healed by the coordinator's idempotent "
+        "re-announce (missed-announcement / partition path).",
+        labels,
+        callback=lambda: rotation.reprovisions,
+    )
+
+
 def instrument_stack(
     telemetry: Any,
     *,
@@ -447,6 +497,7 @@ def instrument_stack(
     client: Any = None,
     supervisor: Any = None,
     guard: Any = None,
+    rotation: Any = None,
 ) -> None:
     """Instrument whichever stack components the caller has on hand."""
     if service is not None:
@@ -465,3 +516,5 @@ def instrument_stack(
         )
     if service is not None or guard is not None:
         instrument_overload(telemetry, service=service, guard=guard)
+    if rotation is not None:
+        instrument_rotation(telemetry, rotation)

@@ -17,7 +17,8 @@ def test_index_covers_every_paper_artefact():
     expected = {"table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10",
                 "sec61", "sec62", "sec63", "sec9", "ablations",
                 "chaos",      # availability/recovery drill, not a figure
-                "overload"}   # graceful-degradation sweep, not a figure
+                "overload",   # graceful-degradation sweep, not a figure
+                "rotation"}   # live re-key drill, not a figure
     assert set(EXPERIMENT_INDEX) == expected
 
 
