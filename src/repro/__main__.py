@@ -25,7 +25,16 @@ Subcommands:
   released batch, pause-and-resume after the crash, no cross-epoch
   pseudonym linkage and a clean redaction audit; writes the telemetry
   artifact (byte-identical across same-seed invocations — CI diffs
-  two runs).
+  two runs);
+* ``scale-smoke``     — million-user Figure-8-shaped proxy-scaling
+  sweep (1M synthetic users, 100k RPS sustained at the top point) on
+  the calendar-queue engine; writes a deterministic ``scale.json``
+  (byte-identical across same-seed runs *and* across engines — CI
+  diffs a calendar run against a reference-engine run) plus a
+  non-diffable ``scale_meta.json`` with events/sec and wall time;
+* ``simnet-bench``    — event-loop micro-benchmarks (calendar engine
+  vs seed reference heap); writes/refreshes ``BENCH_simnet.json`` and
+  enforces the recorded perf floors.
 """
 
 from __future__ import annotations
@@ -307,6 +316,73 @@ def _cmd_rekey_smoke(args) -> int:
     return 0
 
 
+def _cmd_scale_smoke(args) -> int:
+    """Million-user proxy-scaling sweep on the selected engine."""
+    import dataclasses
+
+    from repro.experiments.scale import FULL_CONFIG, SMOKE_CONFIG, run_scale_sweep, write_artifacts
+
+    base = SMOKE_CONFIG if args.reduced else FULL_CONFIG
+    overrides = {"engine": args.engine, "seed": args.seed}
+    if args.users is not None:
+        overrides["users"] = args.users
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    config = dataclasses.replace(base, **overrides)
+    print(
+        f"scale sweep: engine={config.engine} users={config.users:,}"
+        f" pairs={config.pairs_sweep} peak={config.peak_rps:,.0f} rps"
+        f" duration={config.duration}s"
+    )
+    artifact, meta = run_scale_sweep(config)
+    for point, point_meta in zip(artifact["points"], meta["points"]):
+        latency = point["latency"]
+        print(
+            f"  pairs={point['pairs']} offered={point['offered_rps']:10,.0f} rps"
+            f" completed={point['completed']:8d}"
+            f" med={latency['median'] * 1000:6.2f}ms p99={latency['p99'] * 1000:6.2f}ms"
+            f" | {point_meta['events_per_second']:10,.0f} ev/s"
+            f" wall={point_meta['wall_seconds']:6.1f}s"
+        )
+    artifact_path, meta_path = write_artifacts(artifact, meta, args.out_dir)
+    print(f"artifact: {artifact_path} (deterministic, engine-independent)")
+    print(f"artifact: {meta_path} (wall-clock numbers, do not diff)")
+
+    failures = []
+    for point in artifact["points"]:
+        if point["expired"]:
+            failures.append(f"pairs={point['pairs']}: {point['expired']} requests missed the deadline")
+        if point["completed"] != point["issued"]:
+            failures.append(
+                f"pairs={point['pairs']}: {point['issued'] - point['completed']} requests lost"
+            )
+    total_wall = meta["total_wall_seconds"]
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"scale smoke OK: {sum(p['issued'] for p in artifact['points']):,} requests,"
+        f" {meta['total_events']:,} events in {total_wall:.1f}s wall"
+    )
+    return 0
+
+
+def _cmd_simnet_bench(args) -> int:
+    """Event-loop perf floors (delegates to benchmarks/run_simnet_bench.py)."""
+    import pathlib
+    import runpy
+    import sys as _sys
+
+    script = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "run_simnet_bench.py"
+    _sys.argv = [str(script)] + (["--output", args.output] if args.output else [])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    except SystemExit as exit_info:
+        return int(exit_info.code or 0)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -360,6 +436,27 @@ def main(argv=None) -> int:
     rekey.add_argument("--announce-at", type=float, default=2.0)
     rekey.add_argument("--seed", type=int, default=11)
     rekey.set_defaults(fn=_cmd_rekey_smoke)
+    scale = subparsers.add_parser(
+        "scale-smoke", help="million-user proxy-scaling sweep (engine showcase)"
+    )
+    scale.add_argument("--out-dir", default="results/scale-smoke",
+                       help="directory for scale.json / scale_meta.json")
+    scale.add_argument("--engine", default="calendar", choices=("calendar", "reference"),
+                       help="event-loop engine to run the sweep on")
+    scale.add_argument("--reduced", action="store_true",
+                       help="CI-sized configuration (200k users, 2 points, 3s)")
+    scale.add_argument("--users", type=int, default=None,
+                       help="override the synthetic user population")
+    scale.add_argument("--duration", type=float, default=None,
+                       help="override the per-point injection window (s)")
+    scale.add_argument("--seed", type=int, default=20260808)
+    scale.set_defaults(fn=_cmd_scale_smoke)
+    bench = subparsers.add_parser(
+        "simnet-bench", help="event-loop perf floors (BENCH_simnet.json)"
+    )
+    bench.add_argument("--output", default=None,
+                       help="where to write the benchmark report JSON")
+    bench.set_defaults(fn=_cmd_simnet_bench)
     args = parser.parse_args(argv)
     return args.fn(args)
 

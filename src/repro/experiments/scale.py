@@ -1,0 +1,314 @@
+"""Million-user proxy-scaling sweep (the Figure-8 shape at 1000x rate).
+
+The paper's Figure 8 sweeps 1-4 UA+IA proxy pairs at up to 1000 RPS
+against a stub LRS and shows throughput scaling linearly with proxy
+instances.  This experiment reruns that shape at the scale the related
+work treats as table stakes — a synthetic population of >= 1 million
+users and ~100k requests per second sustained through the pipeline —
+which is only tractable because of the calendar-queue engine
+(:class:`repro.simnet.clock.EventLoop`): the sweep is pure scheduler
+hot path, tens of millions of events per run.
+
+The pipeline is deliberately lightweight: real :class:`SimNode`
+service stations for UA/IA/LRS, the real :class:`Network` fabric (flow
+recording off — nobody observes this wire, so ``send`` skips the
+per-hop ``FlowRecord``), the real least-pending :class:`LoadBalancer`,
+PProx-style request shuffling (size-S batches with a flush timeout),
+and a per-request deadline timer that is cancelled on completion —
+the cancel-heavy churn profile the engine is optimized for.  Service
+times use the post-crypto-overhaul fast profile (PR 1 made the crypto
+~3 orders of magnitude cheaper, so the enclave transition no longer
+dominates); the sweep measures the *engine*, not the cost model.
+
+Determinism: every scheduling decision flows through the public loop
+API and every random draw happens inside event callbacks, so both
+engines (``calendar`` and ``reference``) replay the identical event
+sequence — the artifact is byte-identical across engines and across
+same-seed runs.  Engine- and wall-clock-dependent numbers (events/sec,
+peak resident queue, compactions) go in a separate meta report that is
+*not* part of the diffable artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.simnet.clock import make_event_loop
+from repro.simnet.loadbalancer import LeastPendingPolicy, LoadBalancer
+from repro.simnet.metrics import SlottedLatencyRecorder
+from repro.simnet.network import LatencyModel, Network
+from repro.simnet.node import SimNode
+from repro.simnet.rng import RngRegistry
+
+__all__ = [
+    "ScaleConfig",
+    "ScalePoint",
+    "run_scale_sweep",
+    "write_artifacts",
+    "SMOKE_CONFIG",
+    "FULL_CONFIG",
+]
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Knobs for one sweep (all virtual-time; see module docstring)."""
+
+    seed: int = 20260808
+    users: int = 1_000_000
+    #: Proxy pairs per sweep point (Figure-8 x-axis).
+    pairs_sweep: Tuple[int, ...] = (1, 2, 4)
+    #: Offered load per proxy pair; the top point sustains
+    #: ``max(pairs_sweep) * rate_per_pair`` RPS.
+    rate_per_pair: float = 25_000.0
+    #: Injection window per sweep point, virtual seconds.
+    duration: float = 10.0
+    #: Seconds trimmed from each end of the measurement window.
+    trim: float = 1.0
+    #: PProx shuffle batch size (requests buffered per UA before the
+    #: IA hop) and the anti-starvation flush timeout.
+    shuffle_size: int = 8
+    flush_timeout: float = 0.004
+    #: Per-request deadline; expired requests count as failed.
+    deadline: float = 0.5
+    engine: str = "calendar"
+
+    @property
+    def peak_rps(self) -> float:
+        return max(self.pairs_sweep) * self.rate_per_pair
+
+
+#: The full acceptance configuration: 1M users, 100k RPS at the top.
+FULL_CONFIG = ScaleConfig()
+
+#: Reduced configuration for CI engine-parity runs.
+SMOKE_CONFIG = ScaleConfig(users=200_000, pairs_sweep=(1, 2), duration=3.0, trim=0.5)
+
+
+@dataclass
+class ScalePoint:
+    """Results of one sweep point (deterministic fields only)."""
+
+    pairs: int
+    offered_rps: float
+    issued: int = 0
+    completed: int = 0
+    expired: int = 0
+    unique_users: int = 0
+    shuffle_flushes: int = 0
+    timeout_flushes: int = 0
+    min_flush_fill: Optional[int] = None
+    latency: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "pairs": self.pairs,
+            "offered_rps": self.offered_rps,
+            "issued": self.issued,
+            "completed": self.completed,
+            "expired": self.expired,
+            "unique_users": self.unique_users,
+            "shuffle_flushes": self.shuffle_flushes,
+            "timeout_flushes": self.timeout_flushes,
+            "min_flush_fill": self.min_flush_fill,
+            "latency": self.latency,
+        }
+
+
+def _run_point(config: ScaleConfig, pairs: int) -> Tuple[ScalePoint, Dict[str, object]]:
+    loop = make_event_loop(config.engine)
+    rng = RngRegistry(config.seed * 1000 + pairs)
+    network = Network(loop=loop, rng=rng.stream("network"), record_flows=False)
+    arrivals = rng.stream("arrivals")
+    service = rng.stream("service")
+
+    ua_nodes = [SimNode(name=f"ua-{i}", loop=loop, cores=4) for i in range(pairs)]
+    ia_nodes = [SimNode(name=f"ia-{i}", loop=loop, cores=4) for i in range(pairs)]
+    lrs_nodes = [SimNode(name=f"lrs-{i}", loop=loop, cores=8) for i in range(2 * pairs)]
+    balancer: LoadBalancer = LoadBalancer(name="ua-pool", policy=LeastPendingPolicy())
+    for index in range(pairs):
+        balancer.add(_PairBackend(index, ua_nodes[index]))
+    lrs_rr = [0]
+
+    rate = pairs * config.rate_per_pair
+    interval = 1.0 / rate
+    total = int(rate * config.duration)
+    point = ScalePoint(pairs=pairs, offered_rps=rate)
+    recorder = SlottedLatencyRecorder(name=f"scale-{pairs}", slot_seconds=0.25)
+    touched = bytearray(config.users)
+
+    # Per-UA shuffle buffers: [items, pending flush timer handle].
+    shufflers: List[list] = [[[], None] for _ in range(pairs)]
+    shuffle_size = config.shuffle_size
+
+    post = loop.post
+    uniform = arrivals.uniform
+    randrange = arrivals.randrange
+    expo = service.expovariate
+
+    def flush(ua_index: int, timed_out: bool) -> None:
+        buffer, handle = shufflers[ua_index]
+        if handle is not None and not timed_out:
+            handle.cancel()
+        shufflers[ua_index][1] = None
+        if not buffer:
+            return
+        fill = len(buffer)
+        point.shuffle_flushes += 1
+        if timed_out:
+            point.timeout_flushes += 1
+        if point.min_flush_fill is None or fill < point.min_flush_fill:
+            point.min_flush_fill = fill
+        shufflers[ua_index][0] = []
+        ia = ia_nodes[ua_index]
+        for forward in buffer:
+            network.send(
+                f"ua-{ua_index}", f"ia-{ua_index}", forward, 256,
+                lambda fwd: ia.submit(0.00002 + expo(1.0) * 0.00002, fwd),
+            )
+
+    def finish(start: float, deadline_handle) -> None:
+        deadline_handle.cancel()
+        point.completed += 1
+        recorder.record(loop.now, loop.now - start)
+
+    def at_lrs(job: Callable[[], None]) -> None:
+        index = lrs_rr[0]
+        lrs_rr[0] = (index + 1) % len(lrs_nodes)
+        node = lrs_nodes[index]
+        network.send("ia", f"lrs-{index}", job, 384,
+                     lambda j: node.submit(0.00006 + expo(1.0) * 0.00004, j))
+
+    def expire() -> None:
+        point.expired += 1
+
+    def arrival() -> None:
+        issued = point.issued
+        point.issued = issued + 1
+        user = randrange(config.users)
+        touched[user] = 1
+        start = loop.now
+        deadline_handle = loop.schedule(config.deadline, expire)
+        backend = balancer.pick()
+        ua_index = backend.index
+        node = backend.node
+
+        def after_lrs() -> None:
+            network.send("lrs", "client", None, 512,
+                         lambda _: finish(start, deadline_handle))
+
+        def after_ia() -> None:
+            at_lrs(after_lrs)
+
+        def at_ua() -> None:
+            node.submit(0.00003 + expo(1.0) * 0.00003, lambda: enqueue(ua_index, after_ia))
+
+        network.send("client", f"ua-{ua_index}", None, 192, lambda _: at_ua())
+        if issued + 1 < total:
+            post(interval + uniform(0.0, interval * 0.1), arrival)
+
+    def enqueue(ua_index: int, forward: Callable[[], None]) -> None:
+        buffer, handle = shufflers[ua_index]
+        buffer.append(forward)
+        if len(buffer) >= shuffle_size:
+            flush(ua_index, False)
+        elif handle is None:
+            shufflers[ua_index][1] = loop.schedule(
+                config.flush_timeout, lambda: flush(ua_index, True)
+            )
+
+    post(0.0, arrival)
+    wall_start = time.perf_counter()
+    loop.run(max_events=200_000_000)
+    wall = time.perf_counter() - wall_start
+
+    # Drain-phase stragglers: flush whatever the last timers left.
+    point.unique_users = sum(touched)
+    summary = recorder.summarize(config.trim, config.duration - config.trim)
+    point.latency = {
+        "p25": summary.p25,
+        "median": summary.median,
+        "p75": summary.p75,
+        "p99": summary.p99,
+        "mean": summary.mean,
+        "max": summary.maximum,
+        "window_count": summary.count,
+    }
+    stats = loop.queue_stats()
+    meta = {
+        "pairs": pairs,
+        "wall_seconds": wall,
+        "events_processed": loop.events_processed,
+        "events_per_second": loop.events_processed / wall if wall > 0 else 0.0,
+        "sim_seconds_per_wall_second": loop.now / wall if wall > 0 else 0.0,
+        "final_virtual_time": loop.now,
+        "peak_pending": stats.get("peak_pending"),
+        "compactions": stats.get("compactions"),
+        "cancels_total": stats.get("cancels_total"),
+    }
+    return point, meta
+
+
+class _PairBackend:
+    """Least-pending view over one UA node (the pair's front door)."""
+
+    __slots__ = ("index", "node")
+
+    def __init__(self, index: int, node: SimNode) -> None:
+        self.index = index
+        self.node = node
+
+    @property
+    def pending(self) -> int:
+        return self.node.pending
+
+
+def run_scale_sweep(config: ScaleConfig = FULL_CONFIG) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Run the sweep; returns ``(artifact, meta)``.
+
+    *artifact* is deterministic — byte-identical for the same seed on
+    either engine.  *meta* carries the wall-clock/engine-dependent
+    numbers and must never be diffed.
+    """
+    points: List[ScalePoint] = []
+    metas: List[Dict[str, object]] = []
+    for pairs in config.pairs_sweep:
+        point, meta = _run_point(config, pairs)
+        points.append(point)
+        metas.append(meta)
+    artifact: Dict[str, object] = {
+        "experiment": "scale",
+        "seed": config.seed,
+        "users": config.users,
+        "rate_per_pair": config.rate_per_pair,
+        "duration": config.duration,
+        "shuffle_size": config.shuffle_size,
+        "deadline": config.deadline,
+        "points": [point.to_dict() for point in points],
+    }
+    meta: Dict[str, object] = {
+        "engine": config.engine,
+        "points": metas,
+        "total_wall_seconds": sum(m["wall_seconds"] for m in metas),
+        "total_events": sum(m["events_processed"] for m in metas),
+    }
+    return artifact, meta
+
+
+def write_artifacts(artifact: Dict[str, object], meta: Dict[str, object], out_dir: str) -> Tuple[str, str]:
+    """Write ``scale.json`` (diffable) and ``scale_meta.json`` (not)."""
+    import os
+
+    os.makedirs(out_dir, exist_ok=True)
+    artifact_path = os.path.join(out_dir, "scale.json")
+    meta_path = os.path.join(out_dir, "scale_meta.json")
+    with open(artifact_path, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with open(meta_path, "w") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return artifact_path, meta_path

@@ -5,7 +5,17 @@ balancers, seeded RNG streams and latency metrics that the proxy, LRS
 and workload layers are built on.
 """
 
-from repro.simnet.clock import EventHandle, EventLoop, SimulationError
+from repro.simnet.clock import (
+    DEFAULT_SLOT_WIDTH,
+    ENGINES,
+    CalendarEventLoop,
+    EventHandle,
+    EventLoop,
+    ReferenceEventHandle,
+    ReferenceEventLoop,
+    SimulationError,
+    make_event_loop,
+)
 from repro.simnet.loadbalancer import (
     BalancerError,
     BalancingPolicy,
@@ -16,7 +26,13 @@ from repro.simnet.loadbalancer import (
     RoundRobinPolicy,
     make_policy,
 )
-from repro.simnet.metrics import CandlestickSummary, LatencyRecorder, percentile, trim_window
+from repro.simnet.metrics import (
+    CandlestickSummary,
+    LatencyRecorder,
+    SlottedLatencyRecorder,
+    percentile,
+    trim_window,
+)
 from repro.simnet.network import FaultDecision, FlowRecord, LatencyModel, Network
 from repro.simnet.node import NodeStats, SimNode
 from repro.simnet.queueing import (
@@ -35,8 +51,14 @@ from repro.simnet.tracing import BreakdownProbe, RequestTimeline, STAGES
 
 __all__ = [
     "EventLoop",
+    "CalendarEventLoop",
+    "ReferenceEventLoop",
     "EventHandle",
+    "ReferenceEventHandle",
     "SimulationError",
+    "make_event_loop",
+    "ENGINES",
+    "DEFAULT_SLOT_WIDTH",
     "LoadBalancer",
     "BalancerError",
     "NoUpstream",
@@ -47,6 +69,7 @@ __all__ = [
     "make_policy",
     "CandlestickSummary",
     "LatencyRecorder",
+    "SlottedLatencyRecorder",
     "percentile",
     "trim_window",
     "Network",

@@ -23,7 +23,7 @@ from typing import Callable, Dict, Optional
 from repro.simnet.clock import EventHandle, EventLoop
 from repro.telemetry.registry import Gauge, MetricRegistry, TimeSeries
 
-__all__ = ["MetricsCollector", "TimeSeries", "node_gauges", "crypto_cache_gauges"]
+__all__ = ["MetricsCollector", "TimeSeries", "node_gauges", "crypto_cache_gauges", "loop_gauges"]
 
 
 @dataclass
@@ -132,3 +132,28 @@ def crypto_cache_gauges(collector: MetricsCollector, provider, prefix: str = "cr
                     stats()[operation][counter]
                 ),
             )
+
+
+def loop_gauges(collector: MetricsCollector, loop: Optional[EventLoop] = None, prefix: str = "simloop") -> None:
+    """Register scheduler-health gauges from ``loop.queue_stats()``.
+
+    Sampled-on-tick, like every other gauge here: ``queue_stats()`` is
+    called once per collector tick (memoized on the virtual clock), not
+    once per gauge, so arming six series costs one snapshot per sample.
+    Defaults to the collector's own loop.
+    """
+    target = loop if loop is not None else collector.loop
+    memo: Dict[str, object] = {"at": None, "stats": None}
+
+    def stats() -> Dict[str, object]:
+        now = collector.loop.now
+        if memo["at"] != now:
+            memo["stats"] = target.queue_stats()
+            memo["at"] = now
+        return memo["stats"]  # type: ignore[return-value]
+
+    for key in ("live", "cancelled", "queued", "peak_pending", "events_processed", "compactions"):
+        collector.register(
+            f"{prefix}.{key}",
+            lambda key=key: float(stats().get(key, 0)),
+        )

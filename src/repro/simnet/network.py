@@ -24,13 +24,15 @@ __all__ = ["Network", "FlowRecord", "FaultDecision", "LatencyModel", "UNKNOWN_RO
 UNKNOWN_ROLE = "unknown"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlowRecord:
     """One observed network transmission (metadata only).
 
     ``source_role``/``destination_role`` carry the *operator-side* role
     directory entries (see :meth:`Network.register_role`); they default
     to :data:`UNKNOWN_ROLE` for records built without a directory.
+    Slotted: scale sweeps retain millions of these when flow recording
+    is on.
     """
 
     time: float
@@ -142,33 +144,39 @@ class Network:
         """
         self._flow_counter += 1
         flow_id = self._flow_counter
-        record = FlowRecord(
-            time=self.loop.now,
-            source=source,
-            destination=destination,
-            size_bytes=size_bytes,
-            flow_id=flow_id,
-            source_role=self.role_of(source),
-            destination_role=self.role_of(destination),
-        )
-        if self.record_flows:
-            self.flows.append(record)
-        for observer in self._observers:
-            observer(record)
-        for wiretap in self._wiretaps:
-            wiretap(record, payload)
         self.messages_sent += 1
         self.bytes_sent += size_bytes
         fault_delay = 0.0
-        if self.fault_filter is not None:
-            decision = self.fault_filter(record)
-            if decision is not None:
-                if decision.drop:
-                    self.messages_dropped += 1
-                    return flow_id
-                fault_delay = decision.extra_delay
+        if self.record_flows or self._observers or self._wiretaps or self.fault_filter:
+            record = FlowRecord(
+                time=self.loop.now,
+                source=source,
+                destination=destination,
+                size_bytes=size_bytes,
+                flow_id=flow_id,
+                source_role=self.role_of(source),
+                destination_role=self.role_of(destination),
+            )
+            if self.record_flows:
+                self.flows.append(record)
+            for observer in self._observers:
+                observer(record)
+            for wiretap in self._wiretaps:
+                wiretap(record, payload)
+            if self.fault_filter is not None:
+                decision = self.fault_filter(record)
+                if decision is not None:
+                    if decision.drop:
+                        self.messages_dropped += 1
+                        return flow_id
+                    fault_delay = decision.extra_delay
+        # else: nobody is watching this wire — skip building the record
+        # entirely (the dominant allocation per hop at scale-sweep
+        # sizes; the rng draw below stays in the same stream position
+        # either way, so seeds reproduce identically).
         delay = self.latency.sample(size_bytes, self.rng) + extra_delay + fault_delay
-        self.loop.schedule(delay, lambda: on_deliver(payload))
+        # Handle-free fast path: deliveries are never cancelled.
+        self.loop.post(delay, lambda: on_deliver(payload))
         return flow_id
 
     def clear_flows(self) -> None:

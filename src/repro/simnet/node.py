@@ -86,7 +86,8 @@ class SimNode:
             enqueued_at, service_time, on_complete = self._queue.popleft()
             self._busy += 1
             self.stats.total_queue_wait += self.loop.now - enqueued_at
-            self.loop.schedule(service_time, self._completer(service_time, on_complete))
+            # Handle-free fast path: completions are never cancelled.
+            self.loop.post(service_time, self._completer(service_time, on_complete))
 
     def _completer(self, service_time: float, on_complete: Callable[[], None]) -> Callable[[], None]:
         def finish() -> None:

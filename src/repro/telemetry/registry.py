@@ -426,5 +426,5 @@ class Scraper:
         # scraper that re-arms unconditionally would keep ``loop.run()``
         # from ever draining.  Once everything else is done the run is
         # over and the final registry state is what gets exported.
-        if any(handle.callback is not None for _, _, handle in self.loop._queue):
+        if self.loop.pending > 0:
             self._handle = self.loop.schedule(self.interval, self._tick)

@@ -122,5 +122,5 @@ def test_encryption_delay_is_charged():
     loop, harness, client, _ = _harness_stack(PProxConfig(shuffle_size=0))
     client.get("u")
     assert loop.pending > 0
-    first_event_time = loop._queue[0][0]
-    assert first_event_time >= DEFAULT_COSTS.client_encrypt_seconds(client.config)
+    loop.step()  # advances the clock to the first scheduled event
+    assert loop.now >= DEFAULT_COSTS.client_encrypt_seconds(client.config)

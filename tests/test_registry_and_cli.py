@@ -18,7 +18,8 @@ def test_index_covers_every_paper_artefact():
                 "sec61", "sec62", "sec63", "sec9", "ablations",
                 "chaos",      # availability/recovery drill, not a figure
                 "overload",   # graceful-degradation sweep, not a figure
-                "rotation"}   # live re-key drill, not a figure
+                "rotation",   # live re-key drill, not a figure
+                "scale"}      # million-user engine sweep, not a figure
     assert set(EXPERIMENT_INDEX) == expected
 
 

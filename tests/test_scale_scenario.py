@@ -1,0 +1,88 @@
+"""The million-user scale sweep: completeness, parity, determinism."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.scale import ScaleConfig, run_scale_sweep
+
+#: Miniature sweep: the full pipeline shape at test-suite cost.
+TINY = ScaleConfig(users=50_000, pairs_sweep=(1, 2), rate_per_pair=10_000.0,
+                   duration=1.0, trim=0.25)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    artifact, meta = run_scale_sweep(TINY)
+    return artifact, meta
+
+
+def test_every_request_completes_within_deadline(sweep):
+    artifact, _ = sweep
+    for point in artifact["points"]:
+        assert point["issued"] > 0
+        assert point["completed"] == point["issued"]
+        assert point["expired"] == 0
+
+
+def test_throughput_scales_with_pairs(sweep):
+    artifact, _ = sweep
+    first, second = artifact["points"]
+    assert second["offered_rps"] == 2 * first["offered_rps"]
+    assert second["completed"] >= 1.9 * first["completed"]
+    # Latency must not collapse when the pool doubles (Figure-8 claim:
+    # capacity scales with proxy pairs).
+    assert second["latency"]["median"] < 2 * first["latency"]["median"]
+
+
+def test_population_and_shuffling_are_exercised(sweep):
+    artifact, _ = sweep
+    for point in artifact["points"]:
+        assert 0 < point["unique_users"] <= TINY.users
+        assert point["shuffle_flushes"] > 0
+        assert 1 <= point["min_flush_fill"] <= TINY.shuffle_size
+
+
+def test_latency_summary_is_sane(sweep):
+    artifact, _ = sweep
+    for point in artifact["points"]:
+        latency = point["latency"]
+        assert 0 < latency["p25"] <= latency["median"] <= latency["p75"] <= latency["max"]
+        assert latency["median"] < TINY.deadline
+        assert latency["window_count"] > 0
+
+
+def test_meta_reports_wall_clock_numbers(sweep):
+    _, meta = sweep
+    assert meta["engine"] == "calendar"
+    assert meta["total_events"] > 0
+    for point_meta in meta["points"]:
+        assert point_meta["events_per_second"] > 0
+        assert point_meta["peak_pending"] > 0
+
+
+def test_artifact_is_byte_identical_across_engines(sweep):
+    calendar_artifact, _ = sweep
+    reference_artifact, reference_meta = run_scale_sweep(
+        dataclasses.replace(TINY, engine="reference")
+    )
+    assert reference_meta["engine"] == "reference"
+    assert (
+        json.dumps(calendar_artifact, sort_keys=True)
+        == json.dumps(reference_artifact, sort_keys=True)
+    )
+
+
+def test_same_seed_runs_are_identical(sweep):
+    artifact, _ = sweep
+    again, _ = run_scale_sweep(TINY)
+    assert json.dumps(artifact, sort_keys=True) == json.dumps(again, sort_keys=True)
+
+
+def test_seed_changes_the_traffic():
+    artifact, _ = run_scale_sweep(dataclasses.replace(TINY, pairs_sweep=(1,), seed=1))
+    other, _ = run_scale_sweep(dataclasses.replace(TINY, pairs_sweep=(1,), seed=2))
+    assert artifact["points"][0]["latency"] != other["points"][0]["latency"]

@@ -126,7 +126,7 @@ def test_scraper_samples_on_interval_and_stops_with_the_run():
     loop.run()
     assert scraper.samples_taken >= 4
     # The scraper must not keep run() from draining: queue is empty now.
-    assert not any(h.callback is not None for _, _, h in loop._queue)
+    assert loop.pending == 0
     assert len(gauge.series.points) == scraper.samples_taken
 
 
