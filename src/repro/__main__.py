@@ -26,6 +26,18 @@ Subcommands:
   pseudonym linkage and a clean redaction audit; writes the telemetry
   artifact (byte-identical across same-seed invocations — CI diffs
   two runs);
+* ``obs-smoke``       — observability gate: runs the causal-tracing /
+  profiler / SLO micro scenario twice with one seed and byte-diffs the
+  deterministic artifacts (``profile.json``, ``profile.folded``,
+  ``trace.jsonl``, ``slo.json``), proves no trace id survives past the
+  UA shuffle boundary, then replays the chaos / overload / rotation /
+  scale experiments under live (or static) SLO engines and asserts
+  every ``slo.json`` verdict — the anonymity-floor objective above
+  all — holds;
+* ``profile``         — run the observability micro scenario under the
+  deterministic virtual-time profiler and print the hottest causal
+  scheduling stacks (writes ``profile.json`` / ``profile.folded`` /
+  ``profile_meta.json``);
 * ``scale-smoke``     — million-user Figure-8-shaped proxy-scaling
   sweep (1M synthetic users, 100k RPS sustained at the top point) on
   the calendar-queue engine; writes a deterministic ``scale.json``
@@ -316,6 +328,136 @@ def _cmd_rekey_smoke(args) -> int:
     return 0
 
 
+def _cmd_obs_smoke(args) -> int:
+    """Observability gate: determinism diff + severing + SLO verdicts."""
+    import dataclasses
+    import os
+
+    from repro.experiments.chaos import run_chaos
+    from repro.experiments.overload import run_overload
+    from repro.experiments.rotation import run_rotation
+    from repro.experiments.scale import SMOKE_CONFIG, run_scale_sweep, scale_slo_verdict
+    from repro.obs import (
+        SloEngine,
+        diff_artifact_dirs,
+        run_obs_scenario,
+        write_obs_artifacts,
+        write_slo,
+    )
+    from repro.telemetry import Telemetry
+
+    failures = []
+
+    # -- 1. two same-seed passes of the micro scenario, byte-diffed ----
+    print(f"obs scenario: two passes at seed {args.seed}")
+    results = []
+    for index in (1, 2):
+        result = run_obs_scenario(seed=args.seed)
+        write_obs_artifacts(result, os.path.join(args.out_dir, f"pass{index}"))
+        results.append(result)
+    first = results[0]
+    print(
+        f"  issued={first.issued} completed={first.completed}"
+        f" attempts_stamped={first.link['attempts_stamped']}"
+        f" severed={first.link['traces_severed']}"
+        f" batch_spans={first.link['batch_spans']}"
+    )
+    for problem in first.problems():
+        failures.append(f"obs scenario: {problem}")
+    diffs = diff_artifact_dirs(
+        os.path.join(args.out_dir, "pass1"), os.path.join(args.out_dir, "pass2")
+    )
+    for diff in diffs:
+        failures.append(f"determinism: {diff}")
+    if not diffs:
+        print("  deterministic artifacts byte-identical across passes")
+
+    # -- 2. each experiment under an SLO engine; verdicts must hold ----
+    verdicts = {}
+    if not args.fast:
+        chaos_slo = SloEngine()
+        chaos_result = run_chaos(
+            seed=7, rps=60.0, duration=12.0,
+            telemetry=Telemetry(scrape_interval=1.0), slo=chaos_slo,
+        )
+        verdicts["chaos"] = chaos_result.slo_report
+
+        overload_slo = SloEngine()
+        overload_result = run_overload(
+            seed=7, duration=6.0,
+            telemetry=Telemetry(scrape_interval=1.0), slo=overload_slo,
+        )
+        verdicts["overload"] = overload_result.slo_report
+
+        rotation_slo = SloEngine()
+        rotation_result = run_rotation(
+            seed=11, rps=140.0, duration=10.0,
+            telemetry=Telemetry(scrape_interval=1.0), slo=rotation_slo,
+        )
+        verdicts["rotation"] = rotation_result.slo_report
+
+        scale_config = dataclasses.replace(
+            SMOKE_CONFIG, users=100_000, pairs_sweep=(1,), duration=2.0
+        )
+        scale_artifact, _meta = run_scale_sweep(scale_config)
+        verdicts["scale"] = scale_slo_verdict(scale_artifact)
+
+        for name, report in verdicts.items():
+            path = write_slo(report, os.path.join(args.out_dir, name))
+            floor = report.objective("anonymity_floor")
+            status = "ok" if report.ok else "FAIL"
+            print(
+                f"  {name:9s} slo {status}: anonymity_floor"
+                f" {floor.value} vs target {floor.target} -> {path}"
+            )
+            if not report.ok:
+                for problem in report.problems():
+                    failures.append(f"{name}: {problem}")
+            elif not floor.ok:
+                failures.append(f"{name}: anonymity floor objective failed")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    checked = ", ".join(verdicts) if verdicts else "scenario only (--fast)"
+    print(
+        f"obs smoke OK: artifacts deterministic, {first.link['traces_severed']}"
+        f" traces severed at the shuffle boundary, 0 exposures,"
+        f" slo verdicts hold ({checked})"
+    )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Deterministic virtual-time profile of the obs micro scenario."""
+    from repro.obs import run_obs_scenario, write_obs_artifacts
+    from repro.obs.profiler import profile_snapshot
+
+    result = run_obs_scenario(
+        seed=args.seed, rps=args.rps, duration=args.duration
+    )
+    paths = write_obs_artifacts(result, args.out_dir)
+    snapshot = profile_snapshot(result.loop)
+    print(
+        f"profiled {snapshot['events_processed']} events over"
+        f" {snapshot['final_virtual_time']:.2f} virtual seconds"
+    )
+    ranked = sorted(
+        snapshot["sites"].items(), key=lambda kv: kv[1]["calls"], reverse=True
+    )
+    print(f"top {min(args.top, len(ranked))} causal stacks by calls:")
+    for key, record in ranked[: args.top]:
+        print(
+            f"  {record['calls']:8d} calls"
+            f" {record['virtual_delay_seconds']:10.4f}s vdelay  {key}"
+        )
+    print(f"artifact: {paths['profile.json']}")
+    print(f"artifact: {paths['profile.folded']} (collapsed stacks, flamegraph-ready)")
+    print(f"artifact: {paths['profile_meta.json']} (wall clock, do not diff)")
+    return 0
+
+
 def _cmd_scale_smoke(args) -> int:
     """Million-user proxy-scaling sweep on the selected engine."""
     import dataclasses
@@ -436,6 +578,26 @@ def main(argv=None) -> int:
     rekey.add_argument("--announce-at", type=float, default=2.0)
     rekey.add_argument("--seed", type=int, default=11)
     rekey.set_defaults(fn=_cmd_rekey_smoke)
+    obs = subparsers.add_parser(
+        "obs-smoke", help="observability gate: determinism diff + severing + SLOs"
+    )
+    obs.add_argument("--out-dir", default="results/obs-smoke",
+                     help="directory for pass1/ pass2/ and per-experiment slo.json")
+    obs.add_argument("--seed", type=int, default=7)
+    obs.add_argument("--fast", action="store_true",
+                     help="skip the experiment SLO replays (scenario + diff only)")
+    obs.set_defaults(fn=_cmd_obs_smoke)
+    profile = subparsers.add_parser(
+        "profile", help="deterministic virtual-time profile of the obs scenario"
+    )
+    profile.add_argument("--out-dir", default="results/profile",
+                         help="directory for profile.json/.folded/_meta.json")
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument("--rps", type=float, default=80.0)
+    profile.add_argument("--duration", type=float, default=4.0)
+    profile.add_argument("--top", type=int, default=12,
+                         help="causal stacks to print (by call count)")
+    profile.set_defaults(fn=_cmd_profile)
     scale = subparsers.add_parser(
         "scale-smoke", help="million-user proxy-scaling sweep (engine showcase)"
     )

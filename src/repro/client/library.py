@@ -37,7 +37,7 @@ from repro.telemetry.types import TelemetryLike
 __all__ = ["PProxClient", "DirectClient", "CompletedCall", "OUTCOME_CLASSES"]
 
 #: Request-outcome classes counted by ``PProxClient.outcomes`` (and the
-#: ``pprox_request_outcome`` counter family built over them).
+#: ``pprox_request_outcome_total`` counter family built over them).
 OUTCOME_CLASSES = ("ok", "retried", "hedged", "failed")
 
 
@@ -205,6 +205,7 @@ class PProxClient:
         hedge_delay: Optional[float] = None,
         deadline_budget: Optional[float] = None,
         epoch_ttl: Optional[float] = None,
+        causal: Optional[Any] = None,
     ) -> None:
         self.loop = loop
         self.network = network
@@ -223,6 +224,10 @@ class PProxClient:
         self.hedge_delay = hedge_delay
         self.deadline_budget = deadline_budget
         self.epoch_ttl = epoch_ttl
+        #: Opt-in :class:`repro.obs.causal.CausalTracer`: stamps each
+        #: attempt with a fixed-width trace id on the client->ua hop
+        #: only (the UA severs it at the shuffle boundary).
+        self.causal = causal
         self.calls_started = 0
         self.calls_completed = 0
         self.retries_performed = 0
@@ -350,6 +355,8 @@ class PProxClient:
         started_at = self.loop.now
         self.calls_started += 1
         telemetry = self.telemetry
+        causal = self.causal
+        trace_id = causal.start_call(request.verb) if causal is not None else None
         if address not in self.network.roles:
             self.network.register_role(address, "client")
         # One expiry for the whole call: retries and hedges all draw
@@ -384,6 +391,8 @@ class PProxClient:
             else:
                 outcome = "ok"
             self.outcomes[outcome] += 1
+            if causal is not None and trace_id is not None:
+                causal.settle_call(trace_id, ok)
             if telemetry is not None:
                 telemetry.tracer.end_trace(request_id, ok)
                 for loser in sorted(live_ids):
@@ -561,6 +570,11 @@ class PProxClient:
                 hedge = replace(attempt_request, request_id=next_request_id())
                 attempt(hedge, attempt_keys, hedged=True)
 
+            if causal is not None and trace_id is not None:
+                # Each wire attempt (retry or hedge) re-carries the
+                # call's trace id; the UA front door strips it before
+                # the request can enter a shuffle buffer.
+                attempt_request = causal.stamp(attempt_request, trace_id)
             if telemetry is not None:
                 telemetry.tracer.record_hop(attempt_request.request_id, "client", "ua")
             self.network.send(

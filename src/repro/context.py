@@ -57,13 +57,19 @@ class SimContext:
         provider: Optional[CryptoProvider] = None,
         costs: ProxyCostModel = DEFAULT_COSTS,
         telemetry: Optional[TelemetryLike] = None,
+        loop: Optional[EventLoop] = None,
     ) -> "SimContext":
         """A ready-to-use context: new loop, network and RNG registry.
 
         The network draws its latency jitter from the registry's
-        ``net`` stream, exactly as every runner did by hand.
+        ``net`` stream, exactly as every runner did by hand.  Pass
+        *loop* to substitute a pre-built engine — e.g. a
+        :class:`repro.obs.profiler.ProfiledLoop` wrapper, or a
+        reference-engine loop from :func:`make_event_loop` — before the
+        network binds to it.
         """
-        loop = EventLoop()
+        if loop is None:
+            loop = EventLoop()
         rng = RngRegistry(seed=seed)
         network = Network(loop=loop, rng=rng.stream("net"), record_flows=record_flows)
         return cls(

@@ -31,12 +31,19 @@ from repro.context import Deployment, SimContext
 from repro.faults import ChaosSpec, FaultSupervisor, NetworkFaultController
 from repro.faults.brownout import BrownoutLrs
 from repro.lrs.stub import StubLrs, make_pseudonymous_payload
+from repro.obs.slo import Objective, SloEngine, histogram_quantile
 from repro.proxy.config import PProxConfig
 from repro.simnet.metrics import LatencyRecorder
 from repro.telemetry import Telemetry, instrument_stack
 from repro.workload.injector import Injector
 
-__all__ = ["ChaosResult", "run_chaos", "default_chaos_config", "DEFAULT_AVAILABILITY_FLOOR"]
+__all__ = [
+    "ChaosResult",
+    "run_chaos",
+    "default_chaos_config",
+    "chaos_slo_objectives",
+    "DEFAULT_AVAILABILITY_FLOOR",
+]
 
 #: Default availability floor: with retries + hedging the client rides
 #: over crashes, partitions and brownouts for the vast majority of
@@ -87,6 +94,10 @@ class ChaosResult:
     #: determinism check compares this stream across same-seed runs).
     fault_events: List[Dict[str, Any]] = field(default_factory=list)
     audit_violations: int = 0
+    #: SLO verdict (:class:`repro.obs.slo.SloReport`) when the run was
+    #: handed an engine; excluded from ``to_dict`` — callers write it
+    #: as its own ``slo.json`` artifact.
+    slo_report: Optional[Any] = None
 
     @property
     def availability(self) -> float:
@@ -166,6 +177,48 @@ class ChaosResult:
         }
 
 
+def chaos_slo_objectives(
+    availability_floor: float = DEFAULT_AVAILABILITY_FLOOR,
+    full_batch_floor: float = 0.85,
+    p99_ceiling: float = 2.5,
+) -> List[Objective]:
+    """The chaos drill's declarative objectives.
+
+    Under chaos the anonymity promise is honestly a *ratio*, not a hard
+    floor: failovers legitimately timer-flush a partial batch when the
+    balancer stops routing to an ejected instance (the entries must be
+    released — holding them would trade availability for anonymity).
+    The SLO therefore budgets thin batches instead of pretending they
+    cannot happen: at least *full_batch_floor* of released batches must
+    be at full size S.
+    """
+    return [
+        Objective(
+            name="goodput",
+            kind="ratio",
+            target=availability_floor,
+            good="completed",
+            total="issued",
+            description="Fraction of issued calls that completed OK.",
+        ),
+        Objective(
+            name="anonymity_floor",
+            kind="ratio",
+            target=full_batch_floor,
+            good="full_flushes",
+            total="released_flushes",
+            description="Fraction of released shuffle batches at full size S.",
+        ),
+        Objective(
+            name="p99_latency_seconds",
+            kind="ceiling",
+            target=p99_ceiling,
+            value="p99_latency_seconds",
+            description="p99 of client-observed end-to-end latency.",
+        ),
+    ]
+
+
 def run_chaos(
     seed: int = 7,
     rps: float = 60.0,
@@ -175,6 +228,7 @@ def run_chaos(
     spec: Optional[ChaosSpec] = None,
     config: Optional[PProxConfig] = None,
     telemetry: Optional[Telemetry] = None,
+    slo: Optional[SloEngine] = None,
     probe_interval: float = 0.25,
     grace: float = 8.0,
 ) -> ChaosResult:
@@ -182,7 +236,8 @@ def run_chaos(
 
     *grace* seconds of drain time after the injection phase let
     backoff retries, hedges and the last fault windows resolve before
-    counters are read.
+    counters are read.  Pass an :class:`SloEngine` as *slo* to sample
+    burn rates live and attach an ``slo_report`` verdict to the result.
     """
     telemetry = telemetry if telemetry is not None else Telemetry(scrape_interval=1.0)
     ctx = SimContext.fresh(seed, telemetry=telemetry)
@@ -244,6 +299,37 @@ def run_chaos(
         supervisor=supervisor,
     )
 
+    if slo is not None:
+        if slo.telemetry is None:
+            slo.telemetry = telemetry
+        flush_counts = {"released": 0, "full": 0}
+        shuffle_size = pprox_config.shuffle_size
+        for instance in service.ua_instances:
+            buffer = instance.request_buffer
+            if buffer is None:
+                continue
+            previous_hook = buffer.on_flush
+
+            def flush_hook(size: int, timer_fired: bool, *, _prev=previous_hook) -> None:
+                if _prev is not None:
+                    _prev(size, timer_fired)
+                flush_counts["released"] += 1
+                if size >= shuffle_size:
+                    flush_counts["full"] += 1
+
+            buffer.on_flush = flush_hook
+        latency_hist = telemetry.registry.histogram(
+            "pprox_request_latency_seconds",
+            "End-to-end client-observed request latency.",
+        )
+        slo.track("issued", lambda: injector.report.issued)
+        slo.track("completed", lambda: injector.report.completed)
+        slo.track("released_flushes", lambda: flush_counts["released"])
+        slo.track("full_flushes", lambda: flush_counts["full"])
+        slo.track(
+            "p99_latency_seconds", lambda: histogram_quantile(latency_hist, 0.99)
+        )
+
     users = [f"user-{index}" for index in range(200)]
     user_rng = ctx.rng.stream("users")
 
@@ -251,6 +337,11 @@ def run_chaos(
         client.get(user_rng.choice(users), on_complete=on_complete)
 
     start, end = injector.inject(rps, duration, issue)
+    if slo is not None:
+        # Bounded at the drain horizon: the SLO tick and the telemetry
+        # scraper both re-arm while the loop has pending work, so an
+        # unbounded engine would keep the final ``run()`` alive forever.
+        slo.attach(ctx.loop, until=end + grace)
     ctx.loop.run_until(end + grace)
     monitor.stop()
     ctx.loop.run()
@@ -290,5 +381,9 @@ def run_chaos(
         ],
         audit_violations=len(telemetry.audit()),
     )
+    if slo is not None:
+        result.slo_report = slo.evaluate(
+            chaos_slo_objectives(availability_floor), experiment="chaos"
+        )
     telemetry.finalize_run(extra={"scenario": "chaos", "seed": seed, **result.to_dict()})
     return result

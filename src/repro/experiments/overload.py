@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.context import Deployment, SimContext
 from repro.lrs.stub import StubLrs, make_pseudonymous_payload
+from repro.obs.slo import Objective, SloEngine, histogram_quantile
 from repro.overload import GuardedLrs, OverloadPolicy
 from repro.privacy.wire import RejectAuditor
 from repro.proxy.config import PProxConfig
@@ -53,6 +54,7 @@ __all__ = [
     "LoadPoint",
     "OverloadResult",
     "run_overload",
+    "overload_slo_objectives",
     "default_overload_config",
     "default_overload_policy",
     "overload_cost_model",
@@ -140,6 +142,10 @@ class LoadPoint:
     required_anonymity: float = 0.0
     audit_violations: int = 0
     reject_audit: List[str] = field(default_factory=list)
+    #: SLO verdict (:class:`repro.obs.slo.SloReport`) when the cell ran
+    #: under an engine; excluded from ``to_dict`` — callers write it as
+    #: its own ``slo.json`` artifact.
+    slo_report: Optional[Any] = None
 
     @property
     def shed_rate(self) -> float:
@@ -180,6 +186,9 @@ class OverloadResult:
     capacity_rps: float
     shuffle_size: int
     points: List[LoadPoint] = field(default_factory=list)
+    #: The headline cell's SLO verdict (protected deployment at the
+    #: highest multiplier), when the sweep ran with an engine.
+    slo_report: Optional[Any] = None
 
     def point(self, *, protected: bool, multiplier: float) -> Optional[LoadPoint]:
         """The cell at ``capacity_rps * multiplier`` for one variant."""
@@ -249,6 +258,58 @@ class OverloadResult:
         }
 
 
+def overload_slo_objectives(
+    required_anonymity: float,
+    goodput_floor: float = 0.35,
+    shed_ceiling: float = 3.0,
+    p99_ceiling: float = 2.5,
+) -> List[Objective]:
+    """The overload episode's objectives, judged on the headline cell.
+
+    The headline cell offers 2x capacity, so the goodput *ratio*
+    (completed/issued) is structurally ~0.5 even when protection works
+    perfectly — the floor budgets for that, it is not an availability
+    promise.  The shed-rate ceiling bounds retry amplification, not
+    shedding itself: sheds count every dropped *attempt* at every stage
+    (ingress, admission, guard), so past saturation the rate sits well
+    above 1 by design; a runaway retry storm would push it past the
+    ceiling.  The anonymity floor, by contrast, is a hard floor: sheds
+    are pre-shuffle only, so even under 2x load every released batch
+    must still carry S entries (min flush x I >= S*I).
+    """
+    return [
+        Objective(
+            name="goodput",
+            kind="ratio",
+            target=goodput_floor,
+            good="completed",
+            total="issued",
+            description="Fraction of issued calls completed at 2x offered load.",
+        ),
+        Objective(
+            name="anonymity_floor",
+            kind="floor",
+            target=required_anonymity,
+            value="anonymity_floor",
+            description="min shuffle flush x IA instances during the load window.",
+        ),
+        Objective(
+            name="shed_rate",
+            kind="ceiling",
+            target=shed_ceiling,
+            value="shed_rate",
+            description="Sheds per issued call (protection must not shed everything).",
+        ),
+        Objective(
+            name="p99_latency_seconds",
+            kind="ceiling",
+            target=p99_ceiling,
+            value="p99_latency_seconds",
+            description="p99 of admitted requests' end-to-end latency.",
+        ),
+    ]
+
+
 def _run_point(
     seed: int,
     rps: float,
@@ -262,6 +323,7 @@ def _run_point(
     telemetry: Telemetry,
     run_label: str,
     enforce_full_batches: bool,
+    slo: Optional[SloEngine] = None,
 ) -> LoadPoint:
     """One cell of the sweep, in a fresh simulation context."""
     ctx = SimContext.fresh(seed, costs=costs, telemetry=telemetry)
@@ -340,6 +402,51 @@ def _run_point(
         client.get(user_rng.choice(users), on_complete=on_complete)
 
     start, end = injector.inject(rps, duration, issue)
+
+    if slo is not None:
+        if slo.telemetry is None:
+            slo.telemetry = telemetry
+        ia_count = len(service.ia_instances)
+        latency_hist = telemetry.registry.histogram(
+            "pprox_request_latency_seconds",
+            "End-to-end client-observed request latency.",
+        )
+
+        def anonymity_floor_source() -> Optional[float]:
+            during = [size for when, size in flushes if start <= when <= end]
+            if not during:
+                return None
+            return float(min(during) * ia_count)
+
+        def shed_source() -> Optional[float]:
+            issued = injector.report.issued
+            if not issued:
+                return None
+            total = sum(
+                count
+                for instance in service.ua_instances + service.ia_instances
+                for count in instance.shed_totals.values()
+            )
+            if guard is not None:
+                total += (
+                    guard.breaker_rejections
+                    + guard.limiter_rejections
+                    + guard.expired_rejections
+                )
+            return total / issued
+
+        slo.track("issued", lambda: injector.report.issued)
+        slo.track("completed", lambda: injector.report.completed)
+        slo.track("anonymity_floor", anonymity_floor_source)
+        slo.track("shed_rate", shed_source)
+        slo.track(
+            "p99_latency_seconds", lambda: histogram_quantile(latency_hist, 0.99)
+        )
+        # Bounded at the drain horizon (the telemetry scraper also
+        # re-arms while work is pending; two unbounded tickers would
+        # keep each other alive and the final run() would never drain).
+        slo.attach(ctx.loop, until=end + grace)
+
     ctx.loop.run_until(end + grace)
     ctx.loop.run()
 
@@ -388,6 +495,10 @@ def _run_point(
         audit_violations=len(telemetry.audit()),
         reject_audit=auditor.violations(),
     )
+    if slo is not None:
+        point.slo_report = slo.evaluate(
+            overload_slo_objectives(point.required_anonymity), experiment="overload"
+        )
     return point
 
 
@@ -401,6 +512,7 @@ def run_overload(
     policy: Optional[OverloadPolicy] = None,
     costs: Optional[ProxyCostModel] = None,
     telemetry: Optional[Telemetry] = None,
+    slo: Optional[SloEngine] = None,
     grace: float = 3.0,
 ) -> OverloadResult:
     """Run the offered-load sweep and return its :class:`OverloadResult`.
@@ -409,7 +521,9 @@ def run_overload(
     cell — the protected deployment at the highest multiplier — so the
     written artifact describes a real overload episode.  Earlier cells
     run under private hubs (each is a separate deployment; mixing their
-    instruments in one registry would alias instance names).
+    instruments in one registry would alias instance names).  An *slo*
+    engine likewise samples only the headline cell and leaves its
+    verdict in ``result.slo_report``.
     """
     pprox_config = config if config is not None else default_overload_config()
     overload_policy = policy if policy is not None else default_overload_policy()
@@ -445,8 +559,11 @@ def run_overload(
             telemetry=hub,
             run_label=f"overload/seed{seed}/{variant}/x{multiplier:g}",
             enforce_full_batches=protected and multiplier >= 1.0,
+            slo=slo if headline else None,
         )
         result.points.append(point)
+        if headline:
+            result.slo_report = point.slo_report
         if telemetry is not None and headline:
             telemetry.finalize_run(
                 extra={

@@ -40,6 +40,7 @@ from repro.crypto.keys import KeyFactory
 from repro.faults import FaultSupervisor, NetworkFaultController
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.lrs.service import HarnessService
+from repro.obs.slo import Objective, SloEngine, histogram_quantile
 from repro.privacy.adversary import Adversary
 from repro.privacy.wire import epoch_tag_exposures
 from repro.proxy.config import PProxConfig
@@ -51,6 +52,7 @@ from repro.workload.injector import Injector
 __all__ = [
     "RotationResult",
     "run_rotation",
+    "rotation_slo_objectives",
     "default_rotation_config",
     "default_rotation_plan",
 ]
@@ -123,6 +125,10 @@ class RotationResult:
     #: Structured ``rotation`` events, in emission order (the
     #: determinism check compares this stream across same-seed runs).
     rotation_events: List[Dict[str, Any]] = field(default_factory=list)
+    #: SLO verdict (:class:`repro.obs.slo.SloReport`) when the drill ran
+    #: under an engine; excluded from ``to_dict`` — callers write it as
+    #: its own ``slo.json`` artifact.
+    slo_report: Optional[Any] = None
 
     @property
     def required_anonymity(self) -> int:
@@ -252,6 +258,57 @@ def default_rotation_plan(config: PProxConfig, announce_at: float) -> FaultPlan:
     )
 
 
+def rotation_slo_objectives(
+    required_anonymity: float,
+    goodput_floor: float = 0.995,
+    pause_ceiling: float = 3.0,
+    p99_ceiling: float = 2.5,
+) -> List[Objective]:
+    """The live-rotation drill's objectives.
+
+    Rotation promises zero downtime, so goodput is a near-1.0 ratio
+    (retries ride over the injected crash/partition; only a failure
+    would dent it).  The anonymity floor is hard — a source that only
+    reports while the dual-epoch window is open samples ``min released
+    flush x I`` at exactly the instants an adversary can observe.  The
+    pause budget bounds how long the drill may sit degraded: the crash
+    plus partition must pause the rotation, but the supervisor restart
+    and health-monitor readmission must unstick it well inside the
+    ceiling.
+    """
+    return [
+        Objective(
+            name="goodput",
+            kind="ratio",
+            target=goodput_floor,
+            good="completed",
+            total="issued",
+            description="Fraction of issued calls completed during the drill.",
+        ),
+        Objective(
+            name="anonymity_floor",
+            kind="floor",
+            target=required_anonymity,
+            value="anonymity_floor",
+            description="min released flush x IA instances inside the dual window.",
+        ),
+        Objective(
+            name="rotation_pause_seconds",
+            kind="ceiling",
+            target=pause_ceiling,
+            value="rotation_pause_seconds",
+            description="Accumulated wall of drill-paused state (virtual seconds).",
+        ),
+        Objective(
+            name="p99_latency_seconds",
+            kind="ceiling",
+            target=p99_ceiling,
+            value="p99_latency_seconds",
+            description="p99 of client-observed end-to-end latency.",
+        ),
+    ]
+
+
 def run_rotation(
     seed: int = 11,
     rps: float = 140.0,
@@ -262,6 +319,7 @@ def run_rotation(
     config: Optional[PProxConfig] = None,
     plan: Optional[FaultPlan] = None,
     telemetry: Optional[Telemetry] = None,
+    slo: Optional[SloEngine] = None,
     probe_interval: float = 0.1,
     grace: float = 6.0,
 ) -> RotationResult:
@@ -270,7 +328,9 @@ def run_rotation(
     *preload_events* feedback posts are stored (and the recommender
     trained) before traffic starts, so the online re-encryption has a
     real old-epoch prefix to translate while new-epoch rows keep
-    arriving on top of it.
+    arriving on top of it.  Pass an :class:`SloEngine` as *slo* to
+    sample burn rates live (attached after preload, so the series
+    covers only the drill) and attach an ``slo_report`` verdict.
     """
     telemetry = telemetry if telemetry is not None else Telemetry(scrape_interval=1.0)
     ctx = SimContext.fresh(seed, telemetry=telemetry)
@@ -393,6 +453,55 @@ def run_rotation(
     # Traffic, faults and the drill are all scheduled relative to the
     # post-preload clock so preload cost never shifts the drill.
     start, end = injector.inject(rps, duration, issue)
+
+    if slo is not None:
+        if slo.telemetry is None:
+            slo.telemetry = telemetry
+        ia_count = len(service.ia_instances)
+        latency_hist = telemetry.registry.histogram(
+            "pprox_request_latency_seconds",
+            "End-to-end client-observed request latency.",
+        )
+
+        def anonymity_floor_source() -> Optional[float]:
+            opened = coordinator.window_opened_at
+            if opened is None:
+                return None
+            closed = coordinator.window_closed_at
+            sizes = [
+                size
+                for at, size in flush_samples
+                if at >= opened and (closed is None or at <= closed)
+            ]
+            if not sizes:
+                return None
+            return float(min(sizes) * ia_count)
+
+        # Integrate paused time tick-by-tick: each sample adds the gap
+        # since the previous one iff the coordinator is currently
+        # paused (interval-resolution, deterministic on virtual time).
+        pause_clock = {"seconds": 0.0, "last": None}
+
+        def pause_seconds_source() -> float:
+            now = ctx.loop.now
+            last = pause_clock["last"]
+            if last is not None and coordinator.paused:
+                pause_clock["seconds"] += now - last
+            pause_clock["last"] = now
+            return pause_clock["seconds"]
+
+        slo.track("issued", lambda: injector.report.issued)
+        slo.track("completed", lambda: injector.report.completed)
+        slo.track("anonymity_floor", anonymity_floor_source)
+        slo.track("rotation_pause_seconds", pause_seconds_source)
+        slo.track(
+            "p99_latency_seconds", lambda: histogram_quantile(latency_hist, 0.99)
+        )
+        # Bounded at the drain horizon (the telemetry scraper also
+        # re-arms while work is pending; two unbounded tickers would
+        # keep each other alive and the final run() would never drain).
+        slo.attach(ctx.loop, until=end + grace)
+
     monitor.start()
     relative_plan = (
         plan if plan is not None else default_rotation_plan(pprox_config, announce_at)
@@ -482,6 +591,11 @@ def run_rotation(
         ],
         audit_violations=len(telemetry.audit()),
     )
+    if slo is not None:
+        result.slo_report = slo.evaluate(
+            rotation_slo_objectives(float(result.required_anonymity)),
+            experiment="rotation",
+        )
     telemetry.finalize_run(
         extra={"scenario": "rotation", "seed": seed, **result.to_dict()}
     )

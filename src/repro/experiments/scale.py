@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.slo import Objective, SloReport, evaluate_static
 from repro.simnet.clock import make_event_loop
 from repro.simnet.loadbalancer import LeastPendingPolicy, LoadBalancer
 from repro.simnet.metrics import SlottedLatencyRecorder
@@ -47,6 +48,8 @@ __all__ = [
     "ScaleConfig",
     "ScalePoint",
     "run_scale_sweep",
+    "scale_slo_objectives",
+    "scale_slo_verdict",
     "write_artifacts",
     "SMOKE_CONFIG",
     "FULL_CONFIG",
@@ -296,6 +299,76 @@ def run_scale_sweep(config: ScaleConfig = FULL_CONFIG) -> Tuple[Dict[str, object
         "total_events": sum(m["events_processed"] for m in metas),
     }
     return artifact, meta
+
+
+def scale_slo_objectives(
+    full_batch_floor: float = 0.995,
+    completion_floor: float = 0.98,
+    p99_ceiling: Optional[float] = None,
+    deadline: float = 0.5,
+) -> List[Objective]:
+    """The scale sweep's objectives, evaluated *statically*.
+
+    The sweep is the engine's perf-floor hot path, so no live sampler
+    ever attaches to it — :func:`scale_slo_verdict` judges the same
+    objective shapes against the finished artifact's totals instead
+    (burn fields stay null).  Anonymity at scale is a full-batch ratio:
+    timer flushes (partial batches at the drain tail) must stay under
+    ``1 - full_batch_floor`` of all shuffle flushes.
+    """
+    return [
+        Objective(
+            name="goodput",
+            kind="ratio",
+            target=completion_floor,
+            good="completed",
+            total="issued",
+            description="Fraction of issued calls completed inside the deadline.",
+        ),
+        Objective(
+            name="anonymity_floor",
+            kind="ratio",
+            target=full_batch_floor,
+            good="full_flushes",
+            total="shuffle_flushes",
+            description="Fraction of shuffle flushes at full size S.",
+        ),
+        Objective(
+            name="p99_latency_seconds",
+            kind="ceiling",
+            target=p99_ceiling if p99_ceiling is not None else deadline,
+            value="p99_latency_seconds",
+            description="Worst per-point p99 latency across the sweep.",
+        ),
+    ]
+
+
+def scale_slo_verdict(
+    artifact: Dict[str, object],
+    objectives: Optional[List[Objective]] = None,
+) -> SloReport:
+    """Static SLO verdict over a finished sweep's diffable artifact."""
+    points = artifact.get("points", [])
+    issued = sum(int(p["issued"]) for p in points)
+    completed = sum(int(p["completed"]) for p in points)
+    shuffle_flushes = sum(int(p["shuffle_flushes"]) for p in points)
+    timeout_flushes = sum(int(p["timeout_flushes"]) for p in points)
+    p99 = max((float(p["latency"]["p99"]) for p in points), default=0.0)
+    if objectives is None:
+        objectives = scale_slo_objectives(
+            deadline=float(artifact.get("deadline", 0.5))
+        )
+    return evaluate_static(
+        objectives,
+        {
+            "issued": float(issued),
+            "completed": float(completed),
+            "shuffle_flushes": float(shuffle_flushes),
+            "full_flushes": float(shuffle_flushes - timeout_flushes),
+            "p99_latency_seconds": p99,
+        },
+        experiment="scale",
+    )
 
 
 def write_artifacts(artifact: Dict[str, object], meta: Dict[str, object], out_dir: str) -> Tuple[str, str]:

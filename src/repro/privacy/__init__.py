@@ -9,6 +9,7 @@ from repro.privacy.wire import (
     constant_size_violations,
     flow_size_profile,
     hop_of,
+    trace_field_exposures,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "RejectAuditor",
     "flow_size_profile",
     "hop_of",
+    "trace_field_exposures",
 ]

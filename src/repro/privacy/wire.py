@@ -21,6 +21,7 @@ __all__ = [
     "flow_size_profile",
     "constant_size_violations",
     "epoch_tag_exposures",
+    "trace_field_exposures",
     "RejectAuditor",
 ]
 
@@ -103,6 +104,49 @@ def epoch_tag_exposures(
             continue
         violations.append(
             f"{hop[0]}->{hop[1]}: epoch tag {fields[EPOCH_FIELD]!r} "
+            f"visible at t={getattr(obs, 'time', '?')}"
+        )
+    return violations
+
+
+def trace_field_exposures(
+    observations: Sequence[Any],
+    allowed_hops: Sequence[Tuple[str, str]] = (("client", "ua"),),
+) -> List[str]:
+    """Causal-trace ids observed on hops where they must never appear.
+
+    The ``trace`` wire field (:mod:`repro.obs.tracewire`) rides only
+    the client->UA hop; the UA front door strips it *before* admission
+    and shuffling, so any trace id visible past the UA would let the
+    adversary follow one request through the shuffler and collapse its
+    anonymity set to 1.  Both the field name and the distinctive
+    ``tw:`` value prefix are checked — a component that copied the id
+    into a different field would still be caught.
+
+    *observations* are wiretap captures with ``source``/``destination``
+    and a ``fields`` dict; anything without fields is skipped.  Returns
+    human-readable findings, empty when clean.
+    """
+    from repro.obs.tracewire import TRACE_FIELD, looks_like_trace_id
+
+    allowed = {tuple(hop) for hop in allowed_hops}
+    violations: List[str] = []
+    for obs in observations:
+        fields = getattr(obs, "fields", None)
+        if not fields:
+            continue
+        leaks = [
+            key
+            for key, value in fields.items()
+            if key == TRACE_FIELD or looks_like_trace_id(value)
+        ]
+        if not leaks:
+            continue
+        hop = hop_of(obs)
+        if hop in allowed:
+            continue
+        violations.append(
+            f"{hop[0]}->{hop[1]}: trace id under {sorted(leaks)} "
             f"visible at t={getattr(obs, 'time', '?')}"
         )
     return violations

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.crypto.envelope import decode_identifier, unb64
 from repro.crypto.keys import LayerKeys
@@ -41,6 +41,7 @@ from repro.proxy.epochs import (
     strip_epoch,
     window_candidates,
 )
+from repro.obs.tracewire import TRACE_FIELD, strip_trace
 from repro.proxy.shuffler import ShuffleBuffer
 from repro.rest.messages import Request, Response, Verb
 from repro.rest.routing import RoutingTable
@@ -109,6 +110,10 @@ class ProxyRuntime:
     #: means the layers run exactly the pre-overload data plane: no
     #: ingress queues, no admission control, no deadline enforcement.
     overload: Optional[OverloadPolicy] = None
+    #: Optional :class:`repro.obs.causal.CausalTracer`.  The UA front
+    #: door notifies it when a trace id is severed; batch spans are
+    #: wired separately (:func:`repro.obs.causal.instrument_causal`).
+    causal: Optional[Any] = None
 
 
 def _layer_keys(enclave: Enclave, sk_slot: str, k_slot: str) -> LayerKeys:
@@ -165,6 +170,10 @@ class UserAnonymizer:
     #: Epoch tags stripped at the front door (pre-shuffle, so batches
     #: never carry an epoch marker an adversary could partition by).
     epoch_tags_seen: int = 0
+    #: Causal trace ids severed at the front door (pre-shuffle, so no
+    #: trace can be followed through the batch — the linkage channel a
+    #: conventional tracer would open is closed here by construction).
+    trace_tags_seen: int = 0
     #: Bounded ingress queue (overload mode only; ``None`` otherwise).
     ingress: Optional[ConcurrentQueue] = None
     #: Front-door admission controller (overload mode only).
@@ -327,6 +336,15 @@ class UserAnonymizer:
             # active-epoch-first regardless.
             request, _ = strip_epoch(request)
             self.epoch_tags_seen += 1
+        if TRACE_FIELD in request.fields:
+            # Sever the causal trace here, unconditionally: downstream
+            # of this line the request is indistinguishable from its
+            # batch peers, and post-shuffle attribution happens only at
+            # batch granularity through aggregate fan-in counts.
+            request, _ = strip_trace(request)
+            self.trace_tags_seen += 1
+            if self.runtime.causal is not None:
+                self.runtime.causal.absorb(self.name)
         if self.ingress is None:
             entry = (request, reply)
             if self.request_buffer is not None:

@@ -13,6 +13,11 @@ are queryable through the legacy :attr:`MetricsCollector.series` dict
 (:meth:`MetricsCollector.render_prometheus`).  Scheduling is
 handle-based: ``stop()`` cancels the pending tick, so a stop→start
 cycle can never double-schedule sampling.
+
+Naming note: series here keep their dotted legacy names (e.g.
+``node.utilization``) inside this *private* registry — they never
+reach the Prometheus-rendered telemetry registry, which is why
+``tools/check_metric_names.py`` exempts this file.
 """
 
 from __future__ import annotations

@@ -28,9 +28,13 @@ class TelemetryEvent:
     kind: str  # "span" | "metrics" | "fault" | "run" | ...
     role: str  # emitting role: client/ua/ia/lrs/operator/unknown
     payload: Dict[str, Any]
+    #: Per-run monotonic sequence number: many events share a virtual
+    #: timestamp, so this is what makes same-seed artifact diffs (and
+    #: any post-hoc sort) ordering-stable.
+    seq: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
-        record = {"time": self.time, "kind": self.kind, "role": self.role}
+        record = {"time": self.time, "seq": self.seq, "kind": self.kind, "role": self.role}
         record.update(self.payload)
         return record
 
@@ -47,6 +51,7 @@ class EventLog:
     events: List[TelemetryEvent] = field(default_factory=list)
     violations: List[Violation] = field(default_factory=list)
     run_label: str = ""
+    next_seq: int = 1
 
     def emit(self, kind: str, role: str, payload: Mapping[str, Any]) -> TelemetryEvent:
         """Scrub *payload* for *role* and append the clean event."""
@@ -65,7 +70,10 @@ class EventLog:
     def _append(self, kind: str, role: str, payload: Dict[str, Any]) -> TelemetryEvent:
         if self.run_label:
             payload.setdefault("run", self.run_label)
-        event = TelemetryEvent(time=self.clock(), kind=kind, role=role, payload=payload)
+        event = TelemetryEvent(
+            time=self.clock(), kind=kind, role=role, payload=payload, seq=self.next_seq
+        )
+        self.next_seq += 1
         self.events.append(event)
         return event
 

@@ -73,7 +73,7 @@ def instrument_service(telemetry: Any, service: Any) -> None:
                 callback=lambda inst=instance: inst.pending,
             )
             registry.gauge(
-                "pprox_node_utilization",
+                "pprox_node_utilization_ratio",
                 "Fraction of host-node core time spent busy.",
                 labels,
                 callback=lambda inst=instance: inst.node.utilization(),
@@ -306,7 +306,7 @@ def instrument_recovery(
     if client is not None:
         for outcome in getattr(client, "outcomes", {}):
             registry.counter(
-                "pprox_request_outcome",
+                "pprox_request_outcome_total",
                 "Completed client calls by outcome class.",
                 {"outcome": outcome},
                 callback=lambda cl=client, oc=outcome: cl.outcomes[oc],

@@ -32,14 +32,29 @@ __all__ = ["RedactionPolicy", "Violation", "audit_events", "DEFAULT_POLICY"]
 # (synthetic), or ``static-item-{NN}`` (the stub LRS catalogue).
 USER_MARKERS: Tuple[str, ...] = ("user-", "client-")
 ITEM_MARKERS: Tuple[str, ...] = ("static-item-", "item-", "movie-")
+# Causal-trace wire ids (repro.obs.tracewire) are "tw:" + 13 hex chars.
+# They are severed at the UA front door; a post-shuffle span or event
+# carrying one would re-link a client request across the shuffler, so
+# they are treated as an identifier class of their own.
+TRACE_MARKERS: Tuple[str, ...] = ("tw:",)
 
 # Field names that denote an identifier even when the value itself is
 # opaque (e.g. an already-encrypted blob stored under key "user").
+# "trace" matches the wire field only: the internal Tracer's integer
+# ``trace_id`` span key is simulator bookkeeping that never rides a
+# message and stays legal.
 USER_KEYS = frozenset({"user", "user_id", "client", "client_address"})
 ITEM_KEYS = frozenset({"item", "items", "item_id", "item_ids"})
+TRACE_KEYS = frozenset({"trace"})
 
-_REDACTED_USER = "[redacted:user-id]"
-_REDACTED_ITEM = "[redacted:item-id]"
+_REDACTED = {
+    "user-id": "[redacted:user-id]",
+    "item-id": "[redacted:item-id]",
+    "trace-id": "[redacted:trace-id]",
+}
+_REDACTED_USER = _REDACTED["user-id"]
+_REDACTED_ITEM = _REDACTED["item-id"]
+_REDACTED_TRACE = _REDACTED["trace-id"]
 
 
 @dataclass(frozen=True)
@@ -47,7 +62,7 @@ class Violation:
     """One leaked identifier caught (or detected) at the boundary."""
 
     role: str
-    kind: str  # "user-id" | "item-id"
+    kind: str  # "user-id" | "item-id" | "trace-id"
     path: str  # dotted path into the event payload
     value: str
 
@@ -63,6 +78,9 @@ def _marker_kind(value: str) -> str | None:
     for marker in ITEM_MARKERS:
         if value.startswith(marker):
             return "item-id"
+    for marker in TRACE_MARKERS:
+        if value.startswith(marker):
+            return "trace-id"
     return None
 
 
@@ -73,9 +91,9 @@ class RedactionPolicy:
     # role -> kinds of identifier that role must never emit
     forbidden: Dict[str, Tuple[str, ...]] = field(
         default_factory=lambda: {
-            "ua": ("item-id",),
-            "ia": ("user-id",),
-            "lrs": ("user-id", "item-id"),
+            "ua": ("item-id", "trace-id"),
+            "ia": ("user-id", "trace-id"),
+            "lrs": ("user-id", "item-id", "trace-id"),
         }
     )
 
@@ -110,7 +128,7 @@ class RedactionPolicy:
                     violations.append(
                         Violation(role=role, kind=key_kind, path=sub_path, value=_preview(sub))
                     )
-                    out[key] = _REDACTED_USER if key_kind == "user-id" else _REDACTED_ITEM
+                    out[key] = _REDACTED[key_kind]
                     continue
                 out[key] = self._scrub_value(role, kinds, sub, sub_path, violations)
             return out
@@ -126,7 +144,7 @@ class RedactionPolicy:
             kind = _marker_kind(value)
             if kind is not None and kind in kinds:
                 violations.append(Violation(role=role, kind=kind, path=path, value=value))
-                return _REDACTED_USER if kind == "user-id" else _REDACTED_ITEM
+                return _REDACTED[kind]
             return value
         return value
 
@@ -139,6 +157,8 @@ class RedactionPolicy:
             return "user-id"
         if lowered in ITEM_KEYS:
             return "item-id"
+        if lowered in TRACE_KEYS:
+            return "trace-id"
         return None
 
 

@@ -69,13 +69,18 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the text exposition format: backslash, quote, newline."""
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
 def _format_labels(labels: Tuple[Tuple[str, str], ...], extra: Optional[Dict[str, str]] = None) -> str:
     pairs = list(labels)
     if extra:
         pairs.extend(sorted(extra.items()))
     if not pairs:
         return ""
-    inner = ",".join(f'{key}="{value}"' for key, value in pairs)
+    inner = ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in pairs)
     return "{" + inner + "}"
 
 
@@ -227,8 +232,14 @@ class Histogram(_Instrument):
     ) -> None:
         super().__init__(name, help_text, labels)
         bounds = sorted(float(bound) for bound in buckets)
+        if any(math.isnan(bound) for bound in bounds):
+            raise ValueError("histogram bucket bounds must not be NaN")
+        # An explicit +Inf bound is dropped: the overflow bucket is
+        # always emitted exactly once, so exposition never produces a
+        # duplicate le="+Inf" series (Prometheus parsers reject those).
+        bounds = [bound for bound in bounds if math.isfinite(bound)]
         if not bounds:
-            raise ValueError("histogram needs at least one bucket bound")
+            raise ValueError("histogram needs at least one finite bucket bound")
         if len(set(bounds)) != len(bounds):
             raise ValueError("histogram bucket bounds must be distinct")
         self.bounds: Tuple[float, ...] = tuple(bounds)
