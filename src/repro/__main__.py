@@ -44,6 +44,12 @@ Subcommands:
   (byte-identical across same-seed runs *and* across engines — CI
   diffs a calendar run against a reference-engine run) plus a
   non-diffable ``scale_meta.json`` with events/sec and wall time;
+* ``wire-smoke``      — codec parity gate: runs one seeded traffic mix
+  under the legacy object wire, the pinned JSON codec and the binary
+  codec (batch envelopes armed), writes a timing-free semantic
+  artifact per run (request outcomes + privacy.wire auditor verdicts)
+  and asserts all three are identical — the wire format must change
+  bytes, never results (CI runs this as the codec-parity job);
 * ``simnet-bench``    — event-loop micro-benchmarks (calendar engine
   vs seed reference heap); writes/refreshes ``BENCH_simnet.json`` and
   enforces the recorded perf floors.
@@ -510,6 +516,124 @@ def _cmd_scale_smoke(args) -> int:
     return 0
 
 
+def _cmd_wire_smoke(args) -> int:
+    """Codec-parity gate: one scenario, three wire formats.
+
+    Runs the same seeded traffic mix under the legacy object wire
+    (``codec=None``), :class:`JsonCodec` and :class:`BinaryCodec`
+    (batch envelopes armed), with an adversary wiretap attached.  For
+    each run it writes a timing-free semantic artifact — per-request
+    outcomes in issue order plus the privacy.wire auditor verdicts —
+    and asserts all three are identical: the wire format must change
+    bytes, never results, and the binary format must pass the same
+    epoch/trace/reject audits as the seed wire.  Binary must also
+    actually exercise the batch-envelope path (counters > 0).
+    """
+    import json as json_module
+    import pathlib
+
+    from repro.context import Deployment, SimContext
+    from repro.lrs.stub import StubLrs, make_pseudonymous_payload
+    from repro.privacy.adversary import Adversary
+    from repro.privacy.wire import (
+        RejectAuditor,
+        epoch_tag_exposures,
+        trace_field_exposures,
+    )
+    from repro.proxy.config import PProxConfig
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    def run_once(codec, harden):
+        ctx = SimContext.fresh(seed=args.seed, record_flows=True, codec=codec)
+        stub = StubLrs(loop=ctx.loop, rng=ctx.rng.stream("lrs"))
+        config = PProxConfig(shuffle_size=4, harden_client_hop=harden)
+        deployment = Deployment.build(ctx=ctx, config=config, lrs_picker=lambda: stub)
+        stub.items = make_pseudonymous_payload(
+            ctx.resolved_provider(),
+            deployment.service.provisioner.layer_keys["IA"].symmetric_key,
+        )
+        adversary = Adversary()
+        adversary.attach(ctx.network)
+        rejects = RejectAuditor()
+        ctx.network.add_wiretap(rejects.observe)
+        client = deployment.client()
+        outcomes = [None] * args.requests
+        for index in range(args.requests):
+            user = f"user-{index % 5}"
+            when = 0.4 * (index + 1)
+
+            def deliver(index=index, kind="get"):
+                def on_complete(call):
+                    items = sorted(str(item) for item in (call.items or ()))
+                    outcomes[index] = {"kind": kind, "ok": call.ok, "items": items}
+                return on_complete
+
+            if index % 2:
+                ctx.loop.schedule_at(when, lambda user=user, index=index: client.post(
+                    user, f"item-{index}", on_complete=deliver(index, "post")))
+            else:
+                ctx.loop.schedule_at(when, lambda user=user, index=index: client.get(
+                    user, on_complete=deliver(index)))
+        ctx.loop.run_until(0.4 * args.requests + 60.0)
+        sealed = sum(i.batch_envelopes_sealed for i in deployment.service.ua_instances)
+        opened = sum(i.batch_envelopes_opened for i in deployment.service.ia_instances)
+        artifact = {
+            "config": {"shuffle_size": 4, "harden_client_hop": harden,
+                       "seed": args.seed, "requests": args.requests},
+            "outcomes": outcomes,
+            "audit": {
+                "epoch_tag_exposures": epoch_tag_exposures(adversary.observations),
+                "trace_field_exposures": trace_field_exposures(adversary.observations),
+                "reject_uniformity": rejects.violations(),
+            },
+        }
+        counters = {"batch_envelopes_sealed": sealed, "batch_envelopes_opened": opened,
+                    "observations": len(adversary.observations)}
+        return artifact, counters
+
+    failures = []
+    for harden in (False, True):
+        mode = "hardened" if harden else "default"
+        artifacts = {}
+        for codec in (None, "json", "binary"):
+            label = codec or "legacy"
+            artifact, counters = run_once(codec, harden)
+            artifacts[label] = artifact
+            path = out_dir / f"parity_{mode}_{label}.json"
+            path.write_text(json_module.dumps(artifact, indent=2, sort_keys=True) + "\n")
+            print(f"{mode:9s} codec={label:7s} "
+                  f"ok={sum(1 for o in artifact['outcomes'] if o and o['ok'])}"
+                  f"/{len(artifact['outcomes'])}"
+                  f" sealed={counters['batch_envelopes_sealed']}"
+                  f" opened={counters['batch_envelopes_opened']}"
+                  f" observations={counters['observations']}")
+            findings = [finding for verdict in artifact["audit"].values()
+                        for finding in verdict]
+            for finding in findings:
+                failures.append(f"{mode}/{label}: audit finding: {finding}")
+            if not all(o and o["ok"] for o in artifact["outcomes"]):
+                failures.append(f"{mode}/{label}: not every request completed ok")
+            if codec == "binary":
+                if counters["batch_envelopes_sealed"] == 0:
+                    failures.append(f"{mode}/binary: batch envelope path never exercised")
+                if counters["batch_envelopes_opened"] != counters["batch_envelopes_sealed"]:
+                    failures.append(f"{mode}/binary: sealed/opened counter mismatch")
+        for label in ("json", "binary"):
+            if artifacts[label] != artifacts["legacy"]:
+                failures.append(
+                    f"{mode}: semantic artifact under {label} differs from legacy wire"
+                )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"wire smoke OK: artifacts in {out_dir} "
+          "(legacy == json == binary, audits clean)")
+    return 0
+
+
 def _cmd_simnet_bench(args) -> int:
     """Event-loop perf floors (delegates to benchmarks/run_simnet_bench.py)."""
     import pathlib
@@ -613,6 +737,15 @@ def main(argv=None) -> int:
                        help="override the per-point injection window (s)")
     scale.add_argument("--seed", type=int, default=20260808)
     scale.set_defaults(fn=_cmd_scale_smoke)
+    wire = subparsers.add_parser(
+        "wire-smoke", help="codec parity gate: legacy vs json vs binary wire"
+    )
+    wire.add_argument("--out-dir", default="results/wire-smoke",
+                      help="directory for the per-codec parity artifacts")
+    wire.add_argument("--seed", type=int, default=42)
+    wire.add_argument("--requests", type=int, default=24,
+                      help="requests per run (alternating get/post)")
+    wire.set_defaults(fn=_cmd_wire_smoke)
     bench = subparsers.add_parser(
         "simnet-bench", help="event-loop perf floors (BENCH_simnet.json)"
     )

@@ -28,6 +28,7 @@ from repro.proxy.costs import ProxyCostModel
 from repro.proxy.epochs import stamp_epoch
 from repro.proxy.layers import RETRYABLE_STATUS
 from repro.proxy.service import PProxService, _looks_like_context
+from repro.rest.codec import WireCodec, ship
 from repro.rest.messages import Request, Response, Verb, make_get, make_post, next_request_id
 from repro.simnet.clock import EventLoop
 from repro.simnet.loadbalancer import BalancerError
@@ -160,6 +161,10 @@ class PProxClient:
                     "build through repro.context.Deployment, which resolves one)"
                 )
             rng = merged.pop("rng", None) or ctx.rng.stream("client")
+            if "codec" not in merged and hasattr(ctx, "resolved_codec"):
+                merged["codec"] = ctx.resolved_codec()
+            if "id_source" not in merged:
+                merged["id_source"] = getattr(ctx, "next_request_id", None)
             self._init_fields(
                 loop=ctx.loop,
                 network=ctx.network,
@@ -206,6 +211,8 @@ class PProxClient:
         deadline_budget: Optional[float] = None,
         epoch_ttl: Optional[float] = None,
         causal: Optional[Any] = None,
+        codec: Optional[WireCodec] = None,
+        id_source: Optional[Callable[[], int]] = None,
     ) -> None:
         self.loop = loop
         self.network = network
@@ -228,6 +235,11 @@ class PProxClient:
         #: attempt with a fixed-width trace id on the client->ua hop
         #: only (the UA severs it at the shuffle boundary).
         self.causal = causal
+        #: Wire codec shared with the service (``None``: legacy wire).
+        self.codec = codec
+        #: Request-id allocator; context-built clients draw from the
+        #: per-context counter, legacy ones from the process-wide one.
+        self.id_source = id_source
         self.calls_started = 0
         self.calls_completed = 0
         self.retries_performed = 0
@@ -238,6 +250,12 @@ class PProxClient:
         #: (expires_at, material, epoch view) — set only with epoch_ttl.
         self._material_cache: Optional[tuple] = None
         self.outcomes = {outcome: 0 for outcome in OUTCOME_CLASSES}
+
+    def _next_id(self) -> int:
+        """Allocate a request id (context counter when available)."""
+        if self.id_source is not None:
+            return self.id_source()
+        return next_request_id()
 
     @property
     def config(self) -> PProxConfig:
@@ -311,9 +329,13 @@ class PProxClient:
         address = client_address or f"client-{user}"
 
         def encode():
-            fresh = make_post(user, item, payload, client_address=address)
+            fresh = make_post(
+                user, item, payload, client_address=address,
+                request_id=self._next_id(),
+            )
             encoded, keys = protocol.client_encode_post(
-                self.provider, self.client_material, self.config, fresh
+                self.provider, self.client_material, self.config, fresh,
+                codec=self.codec,
             )
             if self.tenant is not None:
                 encoded = encoded.with_fields(tenant=self.tenant)
@@ -332,9 +354,12 @@ class PProxClient:
         address = client_address or f"client-{user}"
 
         def encode():
-            fresh = make_get(user, client_address=address)
+            fresh = make_get(
+                user, client_address=address, request_id=self._next_id()
+            )
             encoded, keys = protocol.client_encode_get(
-                self.provider, self.client_material, self.config, fresh
+                self.provider, self.client_material, self.config, fresh,
+                codec=self.codec,
             )
             if self.tenant is not None:
                 encoded = encoded.with_fields(tenant=self.tenant)
@@ -444,11 +469,11 @@ class PProxClient:
                 # stale client discovers a rotation.
                 self._note_retry_epoch()
                 fresh, fresh_keys = re_encode()
-                retry = replace(fresh, request_id=next_request_id())
+                retry = replace(fresh, request_id=self._next_id())
             else:
                 # A fresh request id keeps the retry distinct in every
                 # routing table it traverses.
-                retry = replace(previous, request_id=next_request_id())
+                retry = replace(previous, request_id=self._next_id())
                 fresh_keys = previous_keys
             if delay > 0:
                 self.loop.schedule(delay, lambda: attempt(retry, fresh_keys))
@@ -518,7 +543,8 @@ class PProxClient:
                 if response.ok and request.verb == Verb.GET:
                     try:
                         items = protocol.client_decode_response(
-                            self.provider, self.config, response, attempt_keys
+                            self.provider, self.config, response, attempt_keys,
+                            codec=self.codec,
                         )
                     except Exception:
                         # Mid-rotation, a blob can be sealed against a
@@ -544,10 +570,8 @@ class PProxClient:
                 if telemetry is not None:
                     # Same virtual instant as the ua->client wire record.
                     telemetry.tracer.record_hop(response.request_id, "ua", "client")
-                self.network.send(
-                    entry.address, address, response, response.size_bytes(),
-                    deliver_response,
-                )
+                ship(self.network, self.codec, entry.address, address, response,
+                     deliver_response)
 
             def on_timeout() -> None:
                 if call_state["settled"] or call_state["attempt"] != attempt_index:
@@ -567,7 +591,7 @@ class PProxClient:
                     return
                 call_state["hedged"] = True
                 self.hedges_launched += 1
-                hedge = replace(attempt_request, request_id=next_request_id())
+                hedge = replace(attempt_request, request_id=self._next_id())
                 attempt(hedge, attempt_keys, hedged=True)
 
             if causal is not None and trace_id is not None:
@@ -577,13 +601,8 @@ class PProxClient:
                 attempt_request = causal.stamp(attempt_request, trace_id)
             if telemetry is not None:
                 telemetry.tracer.record_hop(attempt_request.request_id, "client", "ua")
-            self.network.send(
-                address,
-                entry.address,
-                attempt_request,
-                attempt_request.size_bytes(),
-                lambda req: entry.receive_request(req, reply_to_client),
-            )
+            ship(self.network, self.codec, address, entry.address, attempt_request,
+                 lambda req: entry.receive_request(req, reply_to_client))
             if not hedged and self.request_timeout is not None:
                 self.loop.schedule(self.request_timeout, on_timeout)
             if not hedged and self.hedge_delay is not None:

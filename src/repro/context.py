@@ -14,9 +14,10 @@ produce byte-identical deployments; see ``tests/test_context_api.py``.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from repro.client.library import PProxClient
 from repro.crypto.provider import CryptoProvider, SimCryptoProvider
@@ -24,6 +25,7 @@ from repro.overload.policy import OverloadPolicy
 from repro.proxy.config import PProxConfig
 from repro.proxy.costs import DEFAULT_COSTS, ProxyCostModel
 from repro.proxy.service import PProxService, build_service
+from repro.rest.codec import WireCodec, resolve_codec
 from repro.simnet.clock import EventLoop
 from repro.simnet.network import Network
 from repro.simnet.rng import RngRegistry
@@ -47,6 +49,14 @@ class SimContext:
     provider: Optional[CryptoProvider] = None
     costs: ProxyCostModel = DEFAULT_COSTS
     telemetry: Optional[TelemetryLike] = None
+    #: Wire codec for protected hops: ``None`` (legacy, byte-identical
+    #: seed wire), a codec name (``"json"``/``"binary"``), or a
+    #: :class:`repro.rest.codec.WireCodec` instance.
+    codec: Optional[Union[str, WireCodec]] = None
+    #: Per-context request-id counter (replaces the process-wide
+    #: ``rest.messages`` counter, whose state leaked across runs and
+    #: made same-seed artifacts depend on test ordering).
+    _request_ids: Any = field(default=None, init=False, repr=False)
 
     @classmethod
     def fresh(
@@ -58,6 +68,7 @@ class SimContext:
         costs: ProxyCostModel = DEFAULT_COSTS,
         telemetry: Optional[TelemetryLike] = None,
         loop: Optional[EventLoop] = None,
+        codec: Optional[Union[str, WireCodec]] = None,
     ) -> "SimContext":
         """A ready-to-use context: new loop, network and RNG registry.
 
@@ -79,11 +90,38 @@ class SimContext:
             provider=provider,
             costs=costs,
             telemetry=telemetry,
+            codec=codec,
         )
 
     def with_provider(self, provider: CryptoProvider) -> "SimContext":
         """Copy of this context with *provider* installed."""
         return replace(self, provider=provider)
+
+    def with_codec(self, codec: Optional[Union[str, WireCodec]]) -> "SimContext":
+        """Copy of this context with *codec* installed."""
+        return replace(self, codec=codec)
+
+    def resolved_codec(self) -> Optional[WireCodec]:
+        """The context's codec as an instance (memoized), or ``None``.
+
+        Memoized for the same reason as :meth:`resolved_provider`: the
+        service and every client must share one codec object, so codec
+        identity checks (``runtime.codec is client.codec``) hold.
+        """
+        resolved = resolve_codec(self.codec)
+        self.codec = resolved
+        return resolved
+
+    def next_request_id(self) -> int:
+        """Allocate a request id scoped to this context.
+
+        Ids start at 1 for every fresh context, so same-seed runs
+        produce identical id sequences regardless of what else ran in
+        the process (unlike ``rest.messages.next_request_id``).
+        """
+        if self._request_ids is None:
+            self._request_ids = itertools.count(1)
+        return next(self._request_ids)
 
     def resolved_provider(self) -> CryptoProvider:
         """The context's provider, defaulting to a seeded sim provider.
@@ -114,15 +152,21 @@ class Deployment:
         lrs_picker: Callable[[], object],
         rsa_bits: int = 1024,
         overload: Optional["OverloadPolicy"] = None,
+        codec: Optional[Union[str, WireCodec]] = None,
     ) -> "Deployment":
         """Assemble a service from *ctx* (keyword-only).
 
         Equivalent to the legacy ``build_pprox(loop, network, rng,
         config, lrs_picker, ...)`` call for the same inputs.  Pass an
         :class:`repro.overload.OverloadPolicy` as *overload* to arm
-        the overload-protection subsystem on every proxy instance.
+        the overload-protection subsystem on every proxy instance, and
+        a :class:`repro.rest.codec.WireCodec` (or ``"json"``/
+        ``"binary"``) as *codec* to switch the protected hops to
+        encoded wire frames (``None`` keeps the legacy object wire).
         """
         provider = ctx.resolved_provider()
+        if codec is not None:
+            ctx.codec = codec
         service = build_service(
             loop=ctx.loop,
             network=ctx.network,
@@ -134,6 +178,7 @@ class Deployment:
             rsa_bits=rsa_bits,
             telemetry=ctx.telemetry,
             overload=overload,
+            codec=ctx.resolved_codec(),
         )
         return cls(ctx=ctx, service=service, config=config)
 

@@ -23,6 +23,7 @@ from repro.crypto.ctr import det_decrypt, det_encrypt, keyed_pseudonym, rand_dec
 from repro.crypto.envelope import (
     FIXED_ID_BYTES,
     MAX_RECOMMENDATIONS,
+    EnvelopeCodec,
     PaddingError,
     decode_identifier,
     encode_identifier,
@@ -50,6 +51,7 @@ __all__ = [
     "xor_bytes",
     "FIXED_ID_BYTES",
     "MAX_RECOMMENDATIONS",
+    "EnvelopeCodec",
     "PaddingError",
     "encode_identifier",
     "decode_identifier",

@@ -13,11 +13,13 @@ in the base64 format").
 from __future__ import annotations
 
 import base64
-from typing import List, Sequence
+import warnings
+from typing import Any, List, Sequence
 
 __all__ = [
     "FIXED_ID_BYTES",
     "MAX_RECOMMENDATIONS",
+    "EnvelopeCodec",
     "PaddingError",
     "encode_identifier",
     "decode_identifier",
@@ -98,11 +100,143 @@ def is_padding_item(item: str) -> bool:
     return item.startswith(_PAD_SENTINEL)
 
 
-def b64(data: bytes) -> str:
+def _b64(data: bytes) -> str:
     """Base64-encode *data* for embedding in a JSON payload."""
-    return base64.b64encode(data).decode("ascii")
+    return base64.b64encode(bytes(data)).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    """Invert :func:`_b64`."""
+    return base64.b64decode(text.encode("ascii"), validate=True)
+
+
+def b64(data: bytes) -> str:
+    """Deprecated alias of :meth:`EnvelopeCodec.wire_text`.
+
+    Kept for byte-compatibility with the seed wire format; new code
+    goes through the codec surface so the text representation is an
+    explicit choice rather than an ambient assumption.
+    """
+    warnings.warn(
+        "repro.crypto.envelope.b64() is deprecated; use"
+        " EnvelopeCodec.wire_text() or a WireCodec's wire_value()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _b64(data)
 
 
 def unb64(text: str) -> bytes:
-    """Invert :func:`b64`."""
-    return base64.b64decode(text.encode("ascii"), validate=True)
+    """Deprecated alias of :meth:`EnvelopeCodec.wire_blob`."""
+    warnings.warn(
+        "repro.crypto.envelope.unb64() is deprecated; use"
+        " EnvelopeCodec.wire_blob() or a WireCodec's blob_value()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _unb64(text)
+
+
+class EnvelopeCodec:
+    """Batch-first envelope crypto over a :class:`CryptoProvider`.
+
+    The seed sealed one hybrid RSA-OAEP envelope *per request*; at a
+    shuffle batch of ``S`` requests that is ``S`` asymmetric
+    operations per flush.  :meth:`seal_batch` concatenates the batch
+    into one length-prefixed buffer and seals it once — one OAEP
+    operation plus a single AES-CTR pass over the whole buffer (which
+    the provider serves from the PR 1 batched keystream cache).
+    :meth:`open_batch` inverts it with one asymmetric decryption and
+    returns zero-copy ``memoryview`` slices of the plaintext.
+
+    :meth:`seal_each` / :meth:`open_each` are the per-request
+    reference used by the wire bench to measure the amortization.
+    """
+
+    name = "envelope"
+
+    def __init__(self, provider: Any) -> None:
+        self.provider = provider
+
+    # -- wire text representation (replaces free-function b64/unb64) --
+
+    @staticmethod
+    def wire_text(blob: bytes) -> str:
+        """Canonical text form of a binary blob (base64, paper §5)."""
+        return _b64(blob)
+
+    @staticmethod
+    def wire_blob(text: Any) -> bytes:
+        """Invert :meth:`wire_text`; bytes-like values pass through."""
+        if isinstance(text, (bytes, bytearray, memoryview)):
+            return bytes(text)
+        return _unb64(text)
+
+    # -- batched identifier encoding ----------------------------------
+
+    @staticmethod
+    def encode_identifiers(identifiers: Sequence[str]) -> List[bytes]:
+        """Fixed-size encode a whole item list in one call."""
+        return [encode_identifier(identifier) for identifier in identifiers]
+
+    @staticmethod
+    def decode_identifiers(blobs: Sequence[Any]) -> List[str]:
+        """Invert :meth:`encode_identifiers` (accepts memoryviews)."""
+        return [
+            decode_identifier(blob if isinstance(blob, bytes) else bytes(blob))
+            for blob in blobs
+        ]
+
+    # -- batch framing -------------------------------------------------
+
+    @staticmethod
+    def pack_frames(frames: Sequence[Any]) -> bytes:
+        """Concatenate *frames* into one length-prefixed buffer."""
+        parts = [len(frames).to_bytes(4, "big")]
+        for frame in frames:
+            raw = bytes(frame)
+            parts.append(len(raw).to_bytes(4, "big"))
+            parts.append(raw)
+        return b"".join(parts)
+
+    @staticmethod
+    def unpack_frames(data: Any) -> List[memoryview]:
+        """Split a packed buffer into zero-copy frame views."""
+        view = memoryview(data) if not isinstance(data, memoryview) else data
+        if len(view) < 4:
+            raise PaddingError("batch buffer shorter than its count prefix")
+        count = int.from_bytes(view[:4], "big")
+        frames: List[memoryview] = []
+        offset = 4
+        for _ in range(count):
+            if offset + 4 > len(view):
+                raise PaddingError("truncated batch frame length")
+            length = int.from_bytes(view[offset:offset + 4], "big")
+            offset += 4
+            if offset + length > len(view):
+                raise PaddingError("truncated batch frame body")
+            frames.append(view[offset:offset + length])
+            offset += length
+        if offset != len(view):
+            raise PaddingError("trailing bytes after final batch frame")
+        return frames
+
+    # -- batch envelopes -----------------------------------------------
+
+    def seal_batch(self, public: Any, frames: Sequence[Any]) -> bytes:
+        """One hybrid envelope for a whole shuffle batch."""
+        return self.provider.asym_encrypt(public, self.pack_frames(frames))
+
+    def open_batch(self, keys: Any, blob: Any) -> List[memoryview]:
+        """Invert :meth:`seal_batch`; one asymmetric op per batch."""
+        return self.unpack_frames(self.provider.asym_decrypt(keys, bytes(blob)))
+
+    # -- per-request reference (what the batch API amortizes) ----------
+
+    def seal_each(self, public: Any, frames: Sequence[Any]) -> List[bytes]:
+        """Seed behaviour: one envelope per request."""
+        return [self.provider.asym_encrypt(public, bytes(frame)) for frame in frames]
+
+    def open_each(self, keys: Any, blobs: Sequence[Any]) -> List[bytes]:
+        """Invert :meth:`seal_each`."""
+        return [self.provider.asym_decrypt(keys, bytes(blob)) for blob in blobs]

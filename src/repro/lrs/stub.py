@@ -81,10 +81,12 @@ def make_pseudonymous_payload(provider, symmetric_key: bytes) -> List[str]:
     that payload consists of pseudonymous identifiers, which is what
     the IA layer expects to de-pseudonymize on the response path.
     """
-    from repro.crypto.envelope import b64, encode_identifier
+    from repro.crypto.envelope import EnvelopeCodec, encode_identifier
 
     return [
-        b64(provider.pseudonymize(symmetric_key, encode_identifier(item)))
+        EnvelopeCodec.wire_text(
+            provider.pseudonymize(symmetric_key, encode_identifier(item))
+        )
         for item in STATIC_ITEMS
     ]
 

@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional, Set
 
 from repro.crypto.keys import LayerKeys
 from repro.lrs.store import EventStore, FeedbackEvent
+from repro.rest.codec import BatchEnvelope, WireFrame
 from repro.rest.messages import Request, Response
 from repro.sgx.enclave import Enclave
 from repro.sgx.provisioning import IA_SECRET_K, IA_SECRET_SK, UA_SECRET_K, UA_SECRET_SK
@@ -73,6 +74,27 @@ class Adversary:
         self.lrs_store = store
 
     def _capture(self, record: FlowRecord, payload: Any) -> None:
+        if isinstance(payload, WireFrame):
+            # The adversary reads bodies (it bypasses TLS); a public
+            # wire format is no obstacle, so decode the frame and mine
+            # its fields like any JSON body.
+            payload = payload.decode()
+        if isinstance(payload, BatchEnvelope):
+            # A sealed shuffle batch: one hybrid ciphertext.  The
+            # simulator-side request ids/verbs riding on the object are
+            # bookkeeping the adversary never sees.
+            self.observations.append(
+                ObservedMessage(
+                    time=record.time,
+                    source=record.source,
+                    destination=record.destination,
+                    size_bytes=record.size_bytes,
+                    kind="request",
+                    verb=None,
+                    fields={"sealed_batch": payload.blob},
+                )
+            )
+            return
         if isinstance(payload, Request):
             self.observations.append(
                 ObservedMessage(

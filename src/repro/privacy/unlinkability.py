@@ -24,11 +24,18 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.crypto.envelope import decode_identifier, strip_padding_items, unb64
+from repro.crypto.envelope import (
+    FIXED_ID_BYTES,
+    EnvelopeCodec,
+    decode_identifier,
+    strip_padding_items,
+    _unb64,
+)
 from repro.crypto.keys import LayerKeys
 from repro.crypto.provider import CryptoProvider
 from repro.lrs.store import FeedbackEvent
 from repro.privacy.adversary import Adversary, ObservedMessage
+from repro.rest.codec import BINARY_WIRE_CODEC
 
 __all__ = ["KnowledgeEngine", "Link", "fifo_correlation"]
 
@@ -41,6 +48,20 @@ def _try(fn, *args):
         return fn(*args)
     except Exception:
         return None
+
+
+def _material(value: Any) -> Optional[bytes]:
+    """A wire field as ciphertext bytes, whatever the codec.
+
+    The JSON codec carries blobs base64-encoded; the binary codec
+    carries them raw.  ``None`` means the value is not blob material
+    (e.g. a cleartext identifier under a no-encryption config).
+    """
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return bytes(value)
+    if isinstance(value, str):
+        return _try(_unb64, value)
+    return None
 
 
 def fifo_correlation(
@@ -84,14 +105,12 @@ class KnowledgeEngine:
 
     def resolve_user(self, value: Any) -> Optional[str]:
         """Try to turn a ``user`` field into a cleartext identifier."""
-        if not isinstance(value, str):
-            return None
-        if self.catalog and value in self.catalog:
+        if isinstance(value, str) and self.catalog and value in self.catalog:
             return None  # an item, not a user
-        blob = _try(unb64, value)
+        blob = _material(value)
         if blob is None:
             # Cleartext user id (encryption disabled): identity as-is.
-            return value
+            return value if isinstance(value, str) else None
         # Plain-encoded identifier (hardened envelopes carry the user
         # id base64-encoded but not separately encrypted).
         decoded = _try(decode_identifier, blob)
@@ -112,12 +131,10 @@ class KnowledgeEngine:
 
     def resolve_item(self, value: Any) -> Optional[str]:
         """Try to turn an ``item`` field into a cleartext identifier."""
-        if not isinstance(value, str):
-            return None
-        if value in self.catalog:
+        if isinstance(value, str) and value in self.catalog:
             # Cleartext item (pseudonymization disabled): read directly.
             return value
-        blob = _try(unb64, value)
+        blob = _material(value)
         if blob is None:
             return None
         if self.ia_keys is not None:
@@ -135,9 +152,9 @@ class KnowledgeEngine:
 
     def resolve_temporary_key(self, value: Any) -> Optional[bytes]:
         """Recover ``k_u`` from a ``tmpkey`` field (needs IA secrets)."""
-        if not isinstance(value, str) or self.ia_keys is None:
+        if self.ia_keys is None:
             return None
-        blob = _try(unb64, value)
+        blob = _material(value)
         if blob is None:
             return None
         return _try(self.provider.asym_decrypt, self.ia_keys, blob)
@@ -148,20 +165,23 @@ class KnowledgeEngine:
         Returns the inner fields plus the client's response key, or
         ``(fields, None)`` unchanged when nothing can be opened.
         """
-        sealed = fields.get("sealed")
-        if not isinstance(sealed, str) or self.ua_keys is None:
+        if self.ua_keys is None:
             return fields, None
-        blob = _try(unb64, sealed)
+        blob = _material(fields.get("sealed"))
         if blob is None:
             return fields, None
         plain = _try(self.provider.asym_decrypt, self.ua_keys, blob)
         if plain is None:
             return fields, None
+        # Binary-codec envelope: self-describing field entries.
+        unpacked = _try(BINARY_WIRE_CODEC.unpack_envelope, plain)
+        if unpacked is not None:
+            return unpacked
         payload = _try(json.loads, plain.decode("utf-8", errors="replace"))
         if not isinstance(payload, dict):
             return fields, None
         inner = payload.get("fields")
-        response_key = _try(unb64, payload.get("resp_key", ""))
+        response_key = _try(_unb64, payload.get("resp_key", ""))
         return (inner if isinstance(inner, dict) else fields), response_key
 
     def harvest_keys(
@@ -184,13 +204,37 @@ class KnowledgeEngine:
             key = self.resolve_temporary_key(fields.get("tmpkey"))
             if key is not None:
                 temporary_keys.append(key)
+            for inner in self.open_batch_frames(message.fields):
+                key = self.resolve_temporary_key(inner.get("tmpkey"))
+                if key is not None:
+                    temporary_keys.append(key)
         return temporary_keys, response_keys
+
+    def open_batch_frames(self, fields: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Open a ``sealed_batch`` blob with stolen IA secrets.
+
+        Batch-envelope mode seals a whole shuffle flush under ``pkIA``;
+        an adversary holding ``skIA`` recovers every inner request's
+        fields (exactly what a compromised IA enclave would see).
+        Without those secrets the blob is opaque and yields nothing.
+        """
+        blob = _material(fields.get("sealed_batch"))
+        if blob is None or self.ia_keys is None:
+            return []
+        opener = EnvelopeCodec(self.provider)
+        frames = _try(opener.open_batch, self.ia_keys, blob)
+        if frames is None:
+            return []
+        inner_fields: List[Dict[str, Any]] = []
+        for frame in frames:
+            decoded = _try(BINARY_WIRE_CODEC.decode_request, frame)
+            if decoded is not None:
+                inner_fields.append(dict(decoded.fields))
+        return inner_fields
 
     def _trial_decrypt_items(self, blob_field: Any, keys: Sequence[bytes]) -> List[str]:
         """Try every harvested key against an encrypted item list."""
-        if not isinstance(blob_field, str):
-            return []
-        blob = _try(unb64, blob_field)
+        blob = _material(blob_field)
         if blob is None:
             return []
         for key in keys:
@@ -201,10 +245,22 @@ class KnowledgeEngine:
             if isinstance(decoded, list) and all(isinstance(i, str) for i in decoded):
                 items = []
                 for entry in decoded:
-                    raw = _try(unb64, entry)
+                    raw = _try(_unb64, entry)
                     text = _try(decode_identifier, raw) if raw is not None else None
                     items.append(text if text is not None else entry)
                 return strip_padding_items(items)
+            # Binary-codec item payload: a raw concatenation of
+            # fixed-size encoded identifiers (no base64, no JSON).
+            if len(plain) and len(plain) % FIXED_ID_BYTES == 0:
+                items = []
+                for start in range(0, len(plain), FIXED_ID_BYTES):
+                    text = _try(decode_identifier, plain[start:start + FIXED_ID_BYTES])
+                    if text is None:
+                        items = None
+                        break
+                    items.append(text)
+                if items is not None:
+                    return strip_padding_items(items)
         return []
 
     def resolve_items_list(self, message: ObservedMessage,
@@ -246,6 +302,18 @@ class KnowledgeEngine:
         # 1. Per-message: both sides resolvable within one observation.
         for message in observations:
             fields, _ = self.unseal(message.fields)
+            # Batch envelopes: with skIA the whole flush opens, and
+            # every inner request is mined like a direct observation
+            # (exactly what a compromised IA enclave would see).
+            for inner in self.open_batch_frames(fields):
+                inner_identity = self.resolve_user(inner.get("user"))
+                if inner_identity is None:
+                    inner_identity = self.message_identity(message)
+                if inner_identity is None:
+                    continue
+                inner_item = self.resolve_item(inner.get("item"))
+                if inner_item is not None:
+                    links.add((inner_identity, inner_item))
             identity = self.resolve_user(fields.get("user"))
             if identity is None:
                 identity = self.message_identity(message)
@@ -261,16 +329,17 @@ class KnowledgeEngine:
             # blob travelling next to a client address falls to the
             # full set of k_u keys recovered anywhere on the wire.
             inner_fields = fields
-            sealed_resp = fields.get("sealed_resp")
-            if isinstance(sealed_resp, str):
-                blob = _try(unb64, sealed_resp)
+            blob = _material(fields.get("sealed_resp"))
+            if blob is not None:
                 for key in response_keys:
-                    plain = _try(self.provider.sym_decrypt, key, blob) if blob else None
-                    decoded = (
-                        _try(json.loads, plain.decode("utf-8", errors="replace"))
-                        if plain is not None
-                        else None
-                    )
+                    plain = _try(self.provider.sym_decrypt, key, blob)
+                    if plain is None:
+                        continue
+                    decoded = _try(BINARY_WIRE_CODEC.unpack_response_fields, plain)
+                    if decoded is None:
+                        decoded = _try(
+                            json.loads, plain.decode("utf-8", errors="replace")
+                        )
                     if isinstance(decoded, dict):
                         inner_fields = decoded
                         break

@@ -19,7 +19,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
-from repro.crypto.envelope import decode_identifier, unb64
+from repro.crypto.envelope import EnvelopeCodec, decode_identifier
 from repro.crypto.keys import LayerKeys
 from repro.crypto.provider import CryptoProvider
 from repro.overload.admission import AdmissionController, OverloadSignal
@@ -43,6 +43,7 @@ from repro.proxy.epochs import (
 )
 from repro.obs.tracewire import TRACE_FIELD, strip_trace
 from repro.proxy.shuffler import ShuffleBuffer
+from repro.rest.codec import BatchEnvelope, WireCodec, ship
 from repro.rest.messages import Request, Response, Verb
 from repro.rest.routing import RoutingTable
 from repro.sgx.enclave import Enclave
@@ -114,6 +115,51 @@ class ProxyRuntime:
     #: door notifies it when a trace id is severed; batch spans are
     #: wired separately (:func:`repro.obs.causal.instrument_causal`).
     causal: Optional[Any] = None
+    #: Optional :class:`repro.rest.codec.WireCodec`.  ``None`` (the
+    #: default) is the seed data plane: messages cross the simulated
+    #: network as Python objects, byte-identical to pre-codec builds.
+    #: With a codec armed, every protected hop carries encoded frames,
+    #: and a batch-capable codec switches the UA to one sealed
+    #: envelope per shuffle flush.
+    codec: Optional[WireCodec] = None
+    #: Current IA-layer public material (set by ``build_service``; kept
+    #: a callable so it tracks live key rotation).  Needed by the UA in
+    #: batch-envelope mode to seal the flushed batch under ``pkIA``.
+    ia_public: Optional[Callable[[], Any]] = None
+
+    def field_blob(self, value: Any) -> bytes:
+        """Materialize a wire field into ciphertext bytes."""
+        if self.codec is not None:
+            return self.codec.blob_value(value)
+        return EnvelopeCodec.wire_blob(value)
+
+
+class _BatchCollector:
+    """Accumulates one shuffle flush's transformed requests.
+
+    Each flushed entry contributes exactly once — a transformed
+    request via :meth:`add`, or a :meth:`skip` when its transform
+    failed or its instance generation went stale — and the batch seals
+    when the last contribution lands.  ``sealed`` guards against the
+    flush firing twice.
+    """
+
+    __slots__ = ("expected", "requests", "sealed")
+
+    def __init__(self, expected: int) -> None:
+        self.expected = expected
+        self.requests: list = []
+        self.sealed = False
+
+    def add(self, request: Request) -> None:
+        self.requests.append(request)
+
+    def skip(self) -> None:
+        self.expected -= 1
+
+    @property
+    def complete(self) -> bool:
+        return not self.sealed and len(self.requests) >= self.expected
 
 
 def _layer_keys(enclave: Enclave, sk_slot: str, k_slot: str) -> LayerKeys:
@@ -185,6 +231,9 @@ class UserAnonymizer:
     #: Non-ok responses rewritten to the uniform reject before they
     #: crossed a protected hop.
     rejects_normalized: int = 0
+    #: Shuffle batches sealed into a single hybrid envelope
+    #: (batch-envelope mode only).
+    batch_envelopes_sealed: int = 0
     #: Telemetry hooks (set by ``instrument_overload``): called per shed
     #: with ``(stage, reason)`` / per arriving deadline with the
     #: remaining budget in seconds.
@@ -205,6 +254,16 @@ class UserAnonymizer:
                 release=self._start_processing,
                 name=f"{self.name}-requests",
             )
+        codec = self.runtime.codec
+        if (
+            codec is not None
+            and codec.batch_envelopes
+            and self.runtime.config.encryption
+            and self.request_buffer is not None
+        ):
+            # Batch-envelope mode: a flush becomes one sealed envelope
+            # to one IA instance instead of S independent sends.
+            self.request_buffer.release_batch = self._release_batch
         policy = self.runtime.overload
         if policy is not None:
             if self.ingress is None:
@@ -461,19 +520,15 @@ class UserAnonymizer:
         self.routing.register(request.request_id, (reply, response_key))
         self.requests_processed += 1
         network = self.runtime.network
+        codec = self.runtime.codec
         telemetry = self.runtime.telemetry
 
         def reply_from_ia(response: Response) -> None:
             if telemetry is not None:
                 # Same virtual instant as the ia->ua wire record below.
                 telemetry.tracer.record_hop(response.request_id, "ia", "ua")
-            network.send(
-                ia.address,
-                self.address,
-                response,
-                response.size_bytes(),
-                self._receive_response,
-            )
+            ship(network, codec, ia.address, self.address, response,
+                 self._receive_response)
 
         self.enclave.ocall()
         if telemetry is not None:
@@ -487,14 +542,143 @@ class UserAnonymizer:
                 **_sgx_attrs(self.runtime, self.enclave, len(self.routing)),
             )
             telemetry.tracer.record_hop(request.request_id, "ua", "ia")
+        ship(network, codec, self.address, ia.address, transformed,
+             lambda req: ia.receive_request(req, reply_from_ia))
+        self._pump()
+
+    # -- batch-envelope request path -----------------------------------
+
+    def _release_batch(self, batch: list) -> None:
+        """Shuffle-flush hook in batch-envelope mode.
+
+        The flushed batch is transformed per request on this node
+        (same enclave legs as the per-request path), collected, then
+        sealed into ONE hybrid envelope and sent to one IA instance —
+        amortizing the asymmetric operation across the whole batch.
+        """
+        collector = _BatchCollector(expected=len(batch))
+        now = self.runtime.loop.now
+        for entry, enqueued_at in batch:
+            request, reply = entry[0], entry[1]
+            arrived = entry[2] if len(entry) > 2 else None
+            remaining = entry[3] if len(entry) > 3 else None
+            shuffle_wait = now - enqueued_at
+            service_time = self.runtime.costs.ua_request_leg(
+                self.runtime.config, len(self.routing), self.enclave.performance_penalty
+            )
+            generation = self.generation
+            self.node.submit(
+                service_time,
+                lambda request=request, reply=reply, service_time=service_time,
+                shuffle_wait=shuffle_wait, generation=generation,
+                arrived=arrived, remaining=remaining: self._forward_batched(
+                    request,
+                    reply,
+                    collector,
+                    service_time,
+                    shuffle_wait,
+                    generation,
+                    arrived=arrived,
+                    remaining=remaining,
+                ),
+            )
+
+    def _forward_batched(
+        self,
+        request: Request,
+        reply: ReplyFn,
+        collector: _BatchCollector,
+        service_time: float = 0.0,
+        shuffle_wait: float = 0.0,
+        generation: Optional[int] = None,
+        arrived: Optional[float] = None,
+        remaining: Optional[float] = None,
+    ) -> None:
+        """Per-request half of a batch flush: transform and collect."""
+        if not self.alive or (generation is not None and generation != self.generation):
+            collector.skip()
+            self._maybe_seal(collector)
+            return
+        ecalls_before = self.enclave.ecall_count
+        try:
+            transformed, response_key = self._transform_request(request)
+        except Exception as exc:
+            self.transform_errors += 1
+            reply(transform_error_response(request, exc))
+            collector.skip()
+            self._maybe_seal(collector)
+            self._pump()
+            return
+        if remaining is not None:
+            if arrived is not None:
+                remaining = charge(remaining, self.runtime.loop.now - arrived)
+            transformed = stamp_deadline(transformed, remaining)
+        self.routing.register(request.request_id, (reply, response_key))
+        self.requests_processed += 1
+        self.enclave.ocall()
+        telemetry = self.runtime.telemetry
+        if telemetry is not None:
+            telemetry.tracer.annotate(
+                request.request_id,
+                instance=self.name,
+                service_seconds=service_time,
+                shuffle_wait_seconds=shuffle_wait,
+                ecalls=self.enclave.ecall_count - ecalls_before,
+                routing_pending=len(self.routing),
+                **_sgx_attrs(self.runtime, self.enclave, len(self.routing)),
+            )
+            telemetry.tracer.record_hop(request.request_id, "ua", "ia")
+        collector.add(transformed)
+        self._maybe_seal(collector)
+        self._pump()
+
+    def _maybe_seal(self, collector: _BatchCollector) -> None:
+        if not collector.complete:
+            return
+        collector.sealed = True
+        if not collector.requests:
+            return
+        self._seal_and_send(collector.requests)
+
+    def _seal_and_send(self, requests: list) -> None:
+        """Seal transformed *requests* into one envelope, route to one IA."""
+        codec = self.runtime.codec
+        try:
+            ia = self.ia_balancer.pick()
+        except BalancerError:
+            self.no_upstream += len(requests)
+            for request in requests:
+                if request.request_id in self.routing:
+                    reply, _ = self.routing.consume(request.request_id)
+                    self._count_shed(STAGE_UPSTREAM, "no_upstream")
+                    reply(uniform_reject(request.request_id))
+            return
+        frames = [codec.encode_request(request) for request in requests]
+        sealer = EnvelopeCodec(self.runtime.provider)
+        blob = sealer.seal_batch(self.runtime.ia_public(), frames)
+        envelope = BatchEnvelope(
+            blob=blob,
+            request_ids=[request.request_id for request in requests],
+            verbs=[request.verb for request in requests],
+            source=self.address,
+        )
+        self.batch_envelopes_sealed += 1
+        network = self.runtime.network
+        telemetry = self.runtime.telemetry
+
+        def reply_from_ia(response: Response) -> None:
+            if telemetry is not None:
+                telemetry.tracer.record_hop(response.request_id, "ia", "ua")
+            ship(network, codec, ia.address, self.address, response,
+                 self._receive_response)
+
         network.send(
             self.address,
             ia.address,
-            transformed,
-            transformed.size_bytes(),
-            lambda req: ia.receive_request(req, reply_from_ia),
+            envelope,
+            envelope.size_bytes(),
+            lambda env: ia.receive_batch(env, reply_from_ia),
         )
-        self._pump()
 
     # -- response path -------------------------------------------------
 
@@ -533,7 +717,11 @@ class UserAnonymizer:
             self.rejects_normalized += 1
             response = uniform_reject(response.request_id)
         wrapped = protocol.ua_wrap_response(
-            self.runtime.provider, self.runtime.config, response_key, response
+            self.runtime.provider,
+            self.runtime.config,
+            response_key,
+            response,
+            codec=self.runtime.codec,
         )
         self.responses_processed += 1
         self.enclave.ocall()
@@ -570,15 +758,16 @@ class UserAnonymizer:
         """
         config = self.runtime.config
         provider = self.runtime.provider
+        codec = self.runtime.codec
         if not config.encryption:
             return protocol.ua_transform_request(
-                provider, None, config, request, self.address
+                provider, None, config, request, self.address, codec=codec
             )
         active = self._keys_for(_tenant_of(request))
         window = epoch_window_of(self.enclave)
         if window is None:
             return protocol.ua_transform_request(
-                provider, active, config, request, self.address
+                provider, active, config, request, self.address, codec=codec
             )
         last_error: Optional[Exception] = None
         for candidate, is_previous in window_candidates(self.enclave, active, window):
@@ -590,10 +779,13 @@ class UserAnonymizer:
                     # validator.  Hardened mode self-validates via its
                     # JSON envelope inside the transform.
                     decode_identifier(
-                        provider.asym_decrypt(candidate, unb64(request.fields["user"]))
+                        provider.asym_decrypt(
+                            candidate,
+                            self.runtime.field_blob(request.fields["user"]),
+                        )
                     )
                 result = protocol.ua_transform_request(
-                    provider, candidate, config, request, self.address
+                    provider, candidate, config, request, self.address, codec=codec
                 )
             except Exception as exc:
                 last_error = exc
@@ -628,6 +820,8 @@ class ItemAnonymizer:
     #: Dual-epoch accounting (see :class:`UserAnonymizer`).
     previous_epoch_decrypts: int = 0
     last_previous_epoch_use: Optional[float] = None
+    #: Sealed batch envelopes opened (batch-envelope mode only).
+    batch_envelopes_opened: int = 0
     #: Bounded ingress queue (overload mode only; ``None`` otherwise).
     ingress: Optional[ConcurrentQueue] = None
     #: Requests shed at this instance, keyed by ``(stage, reason)``.
@@ -779,6 +973,72 @@ class ItemAnonymizer:
         self.ingress.push((request, reply, self.runtime.loop.now, remaining))
         self._pump()
 
+    def receive_batch(self, envelope: BatchEnvelope, reply: ReplyFn) -> None:
+        """Entry point for a UA-sealed shuffle batch (batch-envelope
+        mode): open the single hybrid envelope, decode the frames, and
+        feed each inner request through the normal request path."""
+        if not self.alive:
+            return
+        try:
+            requests = self._open_envelope(envelope)
+        except Exception as exc:
+            del exc
+            # The whole batch is undecryptable (e.g. sealed under keys
+            # this enclave no longer holds): every inner request gets
+            # the same uniform retryable reject.
+            self.transform_errors += 1
+            for request_id in envelope.request_ids:
+                reply(uniform_reject(request_id))
+            return
+        self.batch_envelopes_opened += 1
+        for request in requests:
+            self.receive_request(request, reply)
+
+    def _open_envelope(self, envelope: BatchEnvelope) -> list:
+        """Decrypt and decode a batch envelope, dual-epoch aware.
+
+        A wrong-epoch private key yields garbage plaintext (providers
+        decrypt silently); the frame length-prefix structure acts as
+        the validator, exactly like the fixed-size identifier encoding
+        does on the per-request path.
+        """
+        codec = self.runtime.codec
+        opener = EnvelopeCodec(self.runtime.provider)
+        active = self._keys_for(DEFAULT_TENANT)
+        window = epoch_window_of(self.enclave)
+        frames = None
+        if window is None:
+            frames = opener.open_batch(active, envelope.blob)
+        else:
+            last_error: Optional[Exception] = None
+            for candidate, is_previous in window_candidates(self.enclave, active, window):
+                try:
+                    frames = opener.open_batch(candidate, envelope.blob)
+                except Exception as exc:
+                    last_error = exc
+                    continue
+                if is_previous:
+                    self._note_previous_use()
+                break
+            if frames is None:
+                raise last_error  # type: ignore[misc]  # loop ran at least once
+        if len(frames) != len(envelope.request_ids):
+            raise ValueError(
+                f"batch envelope frame count {len(frames)} != "
+                f"{len(envelope.request_ids)} announced requests"
+            )
+        return [
+            codec.decode_request(
+                frame,
+                verb=verb,
+                request_id=request_id,
+                client_address=envelope.source,
+            )
+            for frame, request_id, verb in zip(
+                frames, envelope.request_ids, envelope.verbs
+            )
+        ]
+
     def _pump(self) -> None:
         """Drain admitted requests into the node while the in-flight
         window has room (dequeue-time sheds happen here)."""
@@ -845,6 +1105,7 @@ class ItemAnonymizer:
         self.routing.register(request.request_id, (reply, context))
         self.requests_processed += 1
         network = self.runtime.network
+        codec = self.runtime.codec
         telemetry = self.runtime.telemetry
         # The IA is the only component that knows, by construction, that
         # this peer is an LRS backend: register it in the operator-side
@@ -856,13 +1117,8 @@ class ItemAnonymizer:
             if telemetry is not None:
                 telemetry.tracer.annotate(response.request_id, backend=backend.address)
                 telemetry.tracer.record_hop(response.request_id, "lrs", "ia")
-            network.send(
-                backend.address,
-                self.address,
-                response,
-                response.size_bytes(),
-                self._receive_response,
-            )
+            ship(network, codec, backend.address, self.address, response,
+                 self._receive_response)
 
         self.enclave.ocall()
         if telemetry is not None:
@@ -875,13 +1131,8 @@ class ItemAnonymizer:
                 **_sgx_attrs(self.runtime, self.enclave, len(self.routing)),
             )
             telemetry.tracer.record_hop(request.request_id, "ia", "lrs")
-        network.send(
-            self.address,
-            backend.address,
-            transformed,
-            transformed.size_bytes(),
-            lambda req: backend.handle(req, reply_from_lrs),
-        )
+        ship(network, codec, self.address, backend.address, transformed,
+             lambda req: backend.handle(req, reply_from_lrs))
         self._pump()
 
     # -- response path -------------------------------------------------
@@ -947,6 +1198,7 @@ class ItemAnonymizer:
                 response,
                 previous=previous,
                 on_previous_use=self._note_previous_use,
+                codec=self.runtime.codec,
             )
         except Exception as exc:
             del exc
@@ -1014,25 +1266,29 @@ class ItemAnonymizer:
         """
         config = self.runtime.config
         provider = self.runtime.provider
+        codec = self.runtime.codec
         if not config.encryption:
             return protocol.ia_transform_request(
-                provider, None, config, request, self.address
+                provider, None, config, request, self.address, codec=codec
             )
         active = self._keys_for(_tenant_of(request))
         window = epoch_window_of(self.enclave)
         if window is None:
             return protocol.ia_transform_request(
-                provider, active, config, request, self.address
+                provider, active, config, request, self.address, codec=codec
             )
         last_error: Optional[Exception] = None
         for candidate, is_previous in window_candidates(self.enclave, active, window):
             try:
                 if request.verb == Verb.POST:
                     decode_identifier(
-                        provider.asym_decrypt(candidate, unb64(request.fields["item"]))
+                        provider.asym_decrypt(
+                            candidate,
+                            self.runtime.field_blob(request.fields["item"]),
+                        )
                     )
                 result = protocol.ia_transform_request(
-                    provider, candidate, config, request, self.address
+                    provider, candidate, config, request, self.address, codec=codec
                 )
             except Exception as exc:
                 last_error = exc

@@ -31,22 +31,21 @@ client->UA wire, where the client's address is visible.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.crypto.envelope import (
     MAX_RECOMMENDATIONS,
-    b64,
+    EnvelopeCodec,
     decode_identifier,
     encode_identifier,
     pad_item_list,
     strip_padding_items,
-    unb64,
 )
 from repro.crypto.keys import LayerKeys, LayerPublicMaterial
 from repro.crypto.provider import CryptoProvider
 from repro.proxy.config import PProxConfig
+from repro.rest.codec import JSON_WIRE_CODEC, WireCodec
 from repro.rest.messages import Request, Response, Verb
 
 __all__ = [
@@ -90,12 +89,12 @@ def _seal_for_ua(
     provider: CryptoProvider,
     material: ClientMaterial,
     fields: Dict[str, str],
+    codec: WireCodec,
 ) -> Tuple[Dict[str, str], bytes]:
     """Wrap *fields* in the hardened-hop envelope under ``pkUA``."""
     response_key = provider.new_temporary_key()
-    payload = json.dumps({"fields": fields, "resp_key": b64(response_key)})
-    sealed = provider.asym_encrypt(material.ua, payload.encode("utf-8"))
-    return {"sealed": b64(sealed)}, response_key
+    sealed = provider.asym_encrypt(material.ua, codec.pack_envelope(fields, response_key))
+    return {"sealed": codec.wire_value(sealed)}, response_key
 
 
 def client_encode_post(
@@ -103,26 +102,29 @@ def client_encode_post(
     material: ClientMaterial,
     config: PProxConfig,
     request: Request,
+    *,
+    codec: Optional[WireCodec] = None,
 ) -> Tuple[Request, CallKeys]:
     """User-side transformation of ``post(u, i[, p])`` (Figure 3)."""
+    codec = codec or JSON_WIRE_CODEC
     if not config.encryption:
         return request, CallKeys()
     user = request.fields["user"]
     item = request.fields["item"]
-    item_field = b64(provider.asym_encrypt(material.ia, encode_identifier(item)))
+    item_field = codec.wire_value(provider.asym_encrypt(material.ia, encode_identifier(item)))
     if config.harden_client_hop:
         # Inside the sealed envelope the user id needs no separate
         # asymmetric layer: the envelope itself is under pkUA.
         inner = dict(request.fields)
-        inner["user"] = b64(encode_identifier(user))
+        inner["user"] = codec.wire_value(encode_identifier(user))
         inner["item"] = item_field
-        sealed_fields, response_key = _seal_for_ua(provider, material, inner)
+        sealed_fields, response_key = _seal_for_ua(provider, material, inner, codec)
         return (
             request.with_fields(user=None, item=None, payload=None, **sealed_fields),
             CallKeys(response_key=response_key),
         )
     encoded = request.with_fields(
-        user=b64(provider.asym_encrypt(material.ua, encode_identifier(user))),
+        user=codec.wire_value(provider.asym_encrypt(material.ua, encode_identifier(user))),
         item=item_field,
     )
     return encoded, CallKeys()
@@ -133,28 +135,31 @@ def client_encode_get(
     material: ClientMaterial,
     config: PProxConfig,
     request: Request,
+    *,
+    codec: Optional[WireCodec] = None,
 ) -> Tuple[Request, CallKeys]:
     """User-side transformation of ``get(u)`` (Figure 4).
 
     Generates the temporary key ``k_u`` the library must keep to
     decrypt the returned recommendation list.
     """
+    codec = codec or JSON_WIRE_CODEC
     if not config.encryption:
         return request, CallKeys()
     user = request.fields["user"]
     temporary_key = provider.new_temporary_key()
-    tmpkey_field = b64(provider.asym_encrypt(material.ia, temporary_key))
+    tmpkey_field = codec.wire_value(provider.asym_encrypt(material.ia, temporary_key))
     if config.harden_client_hop:
         inner = dict(request.fields)
-        inner["user"] = b64(encode_identifier(user))
+        inner["user"] = codec.wire_value(encode_identifier(user))
         inner["tmpkey"] = tmpkey_field
-        sealed_fields, response_key = _seal_for_ua(provider, material, inner)
+        sealed_fields, response_key = _seal_for_ua(provider, material, inner, codec)
         return (
             request.with_fields(user=None, **sealed_fields),
             CallKeys(temporary_key=temporary_key, response_key=response_key),
         )
     encoded = request.with_fields(
-        user=b64(provider.asym_encrypt(material.ua, encode_identifier(user))),
+        user=codec.wire_value(provider.asym_encrypt(material.ua, encode_identifier(user))),
         tmpkey=tmpkey_field,
     )
     return encoded, CallKeys(temporary_key=temporary_key)
@@ -165,8 +170,11 @@ def client_decode_response(
     config: PProxConfig,
     response: Response,
     keys: CallKeys,
+    *,
+    codec: Optional[WireCodec] = None,
 ) -> List[str]:
     """Recover the cleartext recommendation list at the user side."""
+    codec = codec or JSON_WIRE_CODEC
     if not response.ok:
         raise ValueError(f"LRS returned status {response.status}")
     if not config.encryption:
@@ -175,15 +183,17 @@ def client_decode_response(
     if config.harden_client_hop:
         if keys.response_key is None:
             raise ValueError("missing response key for a hardened response")
-        sealed = unb64(fields["sealed_resp"])
-        fields = json.loads(provider.sym_decrypt(keys.response_key, sealed).decode("utf-8"))
+        sealed = codec.blob_value(fields["sealed_resp"])
+        fields = codec.unpack_response_fields(
+            provider.sym_decrypt(keys.response_key, sealed)
+        )
     if "blob" not in fields:
         return []
     if keys.temporary_key is None:
         raise ValueError("missing temporary key for an encrypted get response")
-    blob = unb64(fields["blob"])
-    wire_items = json.loads(provider.sym_decrypt(keys.temporary_key, blob).decode("utf-8"))
-    items = [decode_identifier(unb64(entry)) for entry in wire_items]
+    blob = codec.blob_value(fields["blob"])
+    item_blobs = codec.unpack_items(provider.sym_decrypt(keys.temporary_key, blob))
+    items = EnvelopeCodec.decode_identifiers(item_blobs)
     return strip_padding_items(items)
 
 
@@ -196,6 +206,8 @@ def ua_transform_request(
     config: PProxConfig,
     request: Request,
     layer_address: str,
+    *,
+    codec: Optional[WireCodec] = None,
 ) -> Tuple[Request, Optional[bytes]]:
     """UA leg: replace the user identity with ``det_enc(u, kUA)``.
 
@@ -204,17 +216,20 @@ def ua_transform_request(
     response.  Also rewrites the request's source to the UA instance
     itself — the IA layer must never learn client addresses (§3).
     """
+    codec = codec or JSON_WIRE_CODEC
     response_key: Optional[bytes] = None
     if not config.encryption:
         transformed = request
     elif config.harden_client_hop:
-        payload = json.loads(
-            provider.asym_decrypt(keys, unb64(request.fields["sealed"])).decode("utf-8")
+        inner, response_key = codec.unpack_envelope(
+            provider.asym_decrypt(keys, codec.blob_value(request.fields["sealed"]))
         )
-        inner = payload["fields"]
-        response_key = unb64(payload["resp_key"])
-        user_plain = unb64(inner["user"])
-        inner["user"] = b64(provider.pseudonymize(keys.symmetric_key, user_plain))
+        user_plain = codec.blob_value(inner["user"])
+        # The user pseudonym stays base64 text under every codec: it
+        # is the identifier the LRS stores (paper §5).
+        inner["user"] = EnvelopeCodec.wire_text(
+            provider.pseudonymize(keys.symmetric_key, user_plain)
+        )
         transformed = Request(
             verb=request.verb,
             fields=inner,
@@ -222,9 +237,9 @@ def ua_transform_request(
             client_address=request.client_address,
         )
     else:
-        user_plain = provider.asym_decrypt(keys, unb64(request.fields["user"]))
+        user_plain = provider.asym_decrypt(keys, codec.blob_value(request.fields["user"]))
         pseudonym = provider.pseudonymize(keys.symmetric_key, user_plain)
-        transformed = request.with_fields(user=b64(pseudonym))
+        transformed = request.with_fields(user=EnvelopeCodec.wire_text(pseudonym))
     # Hide the origin: downstream only sees the proxy as the source.
     forwarded = Request(
         verb=transformed.verb,
@@ -240,16 +255,19 @@ def ua_wrap_response(
     config: PProxConfig,
     response_key: Optional[bytes],
     response: Response,
+    *,
+    codec: Optional[WireCodec] = None,
 ) -> Response:
     """Hardened mode: re-encrypt the response fields for the client."""
+    codec = codec or JSON_WIRE_CODEC
     if not config.harden_client_hop or response_key is None:
         return response
     sealed = provider.sym_encrypt(
-        response_key, json.dumps(response.fields, sort_keys=True).encode("utf-8")
+        response_key, codec.pack_response_fields(response.fields)
     )
     return Response(
         status=response.status,
-        fields={"sealed_resp": b64(sealed)},
+        fields={"sealed_resp": codec.wire_value(sealed)},
         request_id=response.request_id,
     )
 
@@ -279,6 +297,8 @@ def ia_transform_request(
     config: PProxConfig,
     request: Request,
     layer_address: str,
+    *,
+    codec: Optional[WireCodec] = None,
 ) -> Tuple[Request, IaRequestContext]:
     """IA leg: decrypt item / temporary key; pseudonymize items.
 
@@ -286,6 +306,7 @@ def ia_transform_request(
     temporary key (for gets) stays inside the enclave, recorded in the
     returned context.
     """
+    codec = codec or JSON_WIRE_CODEC
     if not config.encryption:
         forwarded = Request(
             verb=request.verb,
@@ -298,9 +319,13 @@ def ia_transform_request(
         )
 
     if request.verb == Verb.POST:
-        item_plain = provider.asym_decrypt(keys, unb64(request.fields["item"]))
+        item_plain = provider.asym_decrypt(keys, codec.blob_value(request.fields["item"]))
         if config.item_pseudonymization:
-            item_field = b64(provider.pseudonymize(keys.symmetric_key, item_plain))
+            # Like the user pseudonym, the item pseudonym is base64
+            # text under every codec — it continues into the LRS store.
+            item_field = EnvelopeCodec.wire_text(
+                provider.pseudonymize(keys.symmetric_key, item_plain)
+            )
         else:
             # §6.3: algorithms needing cleartext items can disable
             # pseudonymization at a privacy cost.
@@ -310,7 +335,7 @@ def ia_transform_request(
             verb=Verb.POST, temporary_key=None, tenant=_tenant_field(request)
         )
     else:
-        temporary_key = provider.asym_decrypt(keys, unb64(request.fields["tmpkey"]))
+        temporary_key = provider.asym_decrypt(keys, codec.blob_value(request.fields["tmpkey"]))
         transformed = request.with_fields(tmpkey=None)
         context = IaRequestContext(
             verb=Verb.GET, temporary_key=temporary_key, tenant=_tenant_field(request)
@@ -334,6 +359,7 @@ def ia_transform_response(
     *,
     previous: Optional[LayerKeys] = None,
     on_previous_use: Optional[Callable[[], None]] = None,
+    codec: Optional[WireCodec] = None,
 ) -> Response:
     """IA response leg: de-pseudonymize, pad, re-encrypt under ``k_u``.
 
@@ -345,6 +371,7 @@ def ia_transform_response(
     the fallback — the rotation coordinator uses it to know the old
     epoch is still live and must not be retired yet.
     """
+    codec = codec or JSON_WIRE_CODEC
     if not config.encryption or context.verb == Verb.POST or not response.ok:
         return response
     raw_items = response.fields.get("items", [])
@@ -352,7 +379,7 @@ def ia_transform_response(
         cleartext = []
         fell_back = False
         for item in raw_items:
-            pseudonym = unb64(item)
+            pseudonym = EnvelopeCodec.wire_blob(item)
             try:
                 cleartext.append(
                     decode_identifier(
@@ -372,7 +399,7 @@ def ia_transform_response(
         # One batched provider call for the whole 20-entry list: lets
         # providers amortize per-call overhead and hit the pseudonym
         # memo in a tight loop.
-        pseudonyms = [unb64(item) for item in raw_items]
+        pseudonyms = [EnvelopeCodec.wire_blob(item) for item in raw_items]
         cleartext = [
             decode_identifier(identifier)
             for identifier in provider.depseudonymize_many(keys.symmetric_key, pseudonyms)
@@ -382,12 +409,12 @@ def ia_transform_response(
     padded = pad_item_list(cleartext[:MAX_RECOMMENDATIONS])
     # Fixed-size encode every entry so the blob length never depends
     # on identifier lengths (§4.3's constant-size requirement).
-    wire_items = [b64(encode_identifier(item)) for item in padded]
     blob = provider.sym_encrypt(
-        context.temporary_key, json.dumps(wire_items).encode("utf-8")
+        context.temporary_key,
+        codec.pack_items(EnvelopeCodec.encode_identifiers(padded)),
     )
     return Response(
         status=response.status,
-        fields={"blob": b64(blob)},
+        fields={"blob": codec.wire_value(blob)},
         request_id=response.request_id,
     )

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.crypto.envelope import b64, unb64
+from repro.crypto.envelope import EnvelopeCodec
 from repro.crypto.keys import LayerKeys
 from repro.crypto.provider import CryptoProvider
 from repro.lrs.store import EventStore
@@ -109,8 +109,12 @@ class OnlineRekeyer:
             self.translate_cache_hits += 1
             return cached
         self.translate_cache_misses += 1
-        plain = self.provider.depseudonymize(self.old_keys.symmetric_key, unb64(value))
-        fresh = b64(self.provider.pseudonymize(self.new_keys.symmetric_key, plain))
+        plain = self.provider.depseudonymize(
+            self.old_keys.symmetric_key, EnvelopeCodec.wire_blob(value)
+        )
+        fresh = EnvelopeCodec.wire_text(
+            self.provider.pseudonymize(self.new_keys.symmetric_key, plain)
+        )
         self._translated[value] = fresh
         return fresh
 

@@ -20,6 +20,7 @@ from repro.proxy.config import PProxConfig
 from repro.proxy.costs import DEFAULT_COSTS, ProxyCostModel
 from repro.proxy.layers import ItemAnonymizer, ProxyRuntime, UserAnonymizer
 from repro.proxy.protocol import ClientMaterial
+from repro.rest.codec import WireCodec, resolve_codec
 from repro.sgx.attestation import AttestationService
 from repro.sgx.enclave import Enclave, EnclaveMeasurement
 from repro.sgx.provisioning import KeyProvisioner
@@ -263,6 +264,7 @@ def build_service(
     rsa_bits: int = 1024,
     telemetry: Optional[TelemetryLike] = None,
     overload: Optional[OverloadPolicy] = None,
+    codec: Optional[Union[str, WireCodec]] = None,
 ) -> PProxService:
     """Deploy a PProx service according to *config* (keyword-only core).
 
@@ -306,6 +308,9 @@ def build_service(
         costs=costs,
         telemetry=telemetry,
         overload=overload,
+        codec=resolve_codec(codec),
+        # Kept callable so batch sealing tracks live IA key rotation.
+        ia_public=lambda: provisioner.layer_keys["IA"].public_material,
     )
     service = PProxService(
         runtime=runtime,
@@ -375,6 +380,7 @@ def build_pprox(*args: Any, **kwargs: Any) -> PProxService:
         lrs_picker = merged.pop("lrs_picker")
         rsa_bits = merged.pop("rsa_bits", 1024)
         overload = merged.pop("overload", None)
+        codec = merged.pop("codec", getattr(ctx, "codec", None))
         if merged:
             raise TypeError(
                 "unexpected arguments for context-based build_pprox: "
@@ -391,6 +397,7 @@ def build_pprox(*args: Any, **kwargs: Any) -> PProxService:
             rsa_bits=rsa_bits,
             telemetry=ctx.telemetry,
             overload=overload,
+            codec=codec,
         )
     warnings.warn(
         "build_pprox(loop, network, rng, ...) is deprecated; pass a "

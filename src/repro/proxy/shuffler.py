@@ -56,6 +56,11 @@ class ShuffleBuffer:
     last_wait: float = 0.0
     #: Optional telemetry hook: called as ``on_flush(size, timer_fired)``.
     on_flush: Optional[Callable[[int, bool], None]] = None
+    #: Batch-envelope mode: when set, a flush hands the whole shuffled
+    #: batch — a list of ``(entry, enqueued_at)`` pairs — to this hook
+    #: instead of releasing entries one at a time, so the owner can
+    #: amortize work (one sealed envelope per flush) across the batch.
+    release_batch: Optional[Callable[[List[Any]], None]] = None
 
     def __post_init__(self) -> None:
         if self.size < 1:
@@ -125,6 +130,9 @@ class ShuffleBuffer:
             self.min_flush_size = len(batch)
         if self.on_flush is not None:
             self.on_flush(len(batch), timer_fired)
+        if self.release_batch is not None:
+            self.release_batch(batch)
+            return
         now = self.loop.now
         for entry, enqueued_at in batch:
             self.last_wait = now - enqueued_at

@@ -1,5 +1,13 @@
-"""REST message model and routing primitives shared by client, proxy and LRS."""
+"""REST message model, wire codecs and routing primitives shared by client, proxy and LRS."""
 
+from repro.rest.codec import (
+    BinaryCodec,
+    CodecError,
+    JsonCodec,
+    WireCodec,
+    WireFrame,
+    resolve_codec,
+)
 from repro.rest.messages import Request, Response, Verb, make_get, make_post, next_request_id
 from repro.rest.routing import RoutingError, RoutingTable
 
@@ -10,6 +18,12 @@ __all__ = [
     "make_get",
     "make_post",
     "next_request_id",
+    "WireCodec",
+    "JsonCodec",
+    "BinaryCodec",
+    "WireFrame",
+    "CodecError",
+    "resolve_codec",
     "RoutingTable",
     "RoutingError",
 ]

@@ -24,7 +24,15 @@ _REQUEST_IDS = itertools.count(1)
 
 
 def next_request_id() -> int:
-    """Allocate a simulator-unique request id (test correlation only)."""
+    """Allocate a request id from the process-wide legacy counter.
+
+    The counter leaks across runs in one process, so same-seed
+    artifacts depended on test ordering; context-built clients now
+    allocate from :meth:`repro.context.SimContext.next_request_id`
+    (a per-context counter) instead.  This function remains for the
+    legacy loose-argument construction path, where ids only need to
+    be unique, not reproducible.
+    """
     return next(_REQUEST_IDS)
 
 

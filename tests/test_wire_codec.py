@@ -1,0 +1,471 @@
+"""The pluggable wire codec API: round trips, framing robustness,
+codec resolution, and the invariants the privacy argument leans on
+(fixed header offsets, uniform reject shape, per-context request ids).
+
+Golden byte vectors live in ``test_wire_golden.py``; this file covers
+behaviour.  The Hypothesis section fuzzes the binary frame parser with
+truncations, corruptions and adversarial lengths — a parser that ever
+raises anything but :class:`CodecError` on malformed input would turn
+wire garbage into a proxy crash.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.context import SimContext
+from repro.crypto.envelope import (
+    FIXED_ID_BYTES,
+    EnvelopeCodec,
+    b64,
+    encode_identifier,
+    pad_item_list,
+    unb64,
+)
+from repro.rest.codec import (
+    BINARY_WIRE_CODEC,
+    JSON_WIRE_CODEC,
+    BinaryCodec,
+    CodecError,
+    JsonCodec,
+    WireCodec,
+    resolve_codec,
+)
+from repro.rest.messages import Request, Response, Verb
+
+CODECS = [JSON_WIRE_CODEC, BINARY_WIRE_CODEC]
+CODEC_IDS = [codec.name for codec in CODECS]
+
+
+def _materialize(fields):
+    """bytes() every memoryview so decoded fields compare to inputs."""
+    return {
+        name: bytes(value) if isinstance(value, (memoryview, bytearray)) else value
+        for name, value in fields.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Round trips (both codecs)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=CODEC_IDS)
+class TestRoundTrips:
+    def test_request_round_trip(self, codec):
+        request = Request(
+            verb=Verb.POST,
+            fields={
+                "user": codec.wire_value(b"\x00" * FIXED_ID_BYTES),
+                "item": codec.wire_value(b"\xff" * FIXED_ID_BYTES),
+                "payload": {"rating": 5},
+            },
+            request_id=11,
+            client_address="client-z",
+        )
+        decoded = codec.decode_request(
+            codec.encode_request(request),
+            verb=Verb.POST,
+            request_id=11,
+            client_address="client-z",
+        )
+        assert decoded.verb == Verb.POST
+        assert codec.blob_value(decoded.fields["user"]) == b"\x00" * FIXED_ID_BYTES
+        assert decoded.fields["payload"] == {"rating": 5}
+        assert decoded.request_id == 11
+        assert decoded.client_address == "client-z"
+
+    def test_request_round_trip_with_header_fields(self, codec):
+        request = Request(
+            verb=Verb.GET,
+            fields={
+                "user": codec.wire_value(b"\x42" * FIXED_ID_BYTES),
+                "deadline": "000001.25000",
+                "kepoch": "0003",
+                "trace": "tw:0000000000042",
+            },
+            request_id=1,
+            client_address="c",
+        )
+        decoded = codec.decode_request(codec.encode_request(request), verb=Verb.GET)
+        assert decoded.fields["deadline"] == "000001.25000"
+        assert decoded.fields["kepoch"] == "0003"
+        assert decoded.fields["trace"] == "tw:0000000000042"
+
+    def test_request_round_trip_without_header_fields(self, codec):
+        request = Request(
+            verb=Verb.GET, fields={"user": codec.wire_value(b"abc")},
+            request_id=1, client_address="c",
+        )
+        decoded = codec.decode_request(codec.encode_request(request), verb=Verb.GET)
+        assert "deadline" not in decoded.fields
+        assert "kepoch" not in decoded.fields
+        assert "trace" not in decoded.fields
+
+    def test_response_round_trip(self, codec):
+        response = Response(
+            status=503,
+            fields={"retryable": True, "error": "unavailable", "pad": "x" * 80},
+            request_id=4,
+        )
+        decoded = codec.decode_response(
+            codec.encode_response(response), status=503, request_id=4
+        )
+        assert decoded.status == 503
+        assert _materialize(decoded.fields) == response.fields
+
+    def test_blob_representation_inverts(self, codec):
+        blob = bytes(range(256))
+        assert codec.blob_value(codec.wire_value(blob)) == blob
+
+    def test_envelope_packing_inverts(self, codec):
+        fields = {"user": codec.wire_value(b"u" * 8), "item": codec.wire_value(b"i" * 8)}
+        key = b"\x07" * 32
+        unpacked, unpacked_key = codec.unpack_envelope(
+            codec.pack_envelope(fields, key)
+        )
+        assert unpacked_key == key
+        assert {n: codec.blob_value(v) for n, v in unpacked.items()} == {
+            "user": b"u" * 8, "item": b"i" * 8,
+        }
+
+    def test_response_fields_packing_inverts(self, codec):
+        fields = {"blob": codec.wire_value(b"\x99" * 64)}
+        unpacked = codec.unpack_response_fields(codec.pack_response_fields(fields))
+        assert codec.blob_value(unpacked["blob"]) == b"\x99" * 64
+
+    def test_item_payload_inverts_at_the_padded_size(self, codec):
+        blobs = EnvelopeCodec.encode_identifiers(
+            pad_item_list([f"movie-{i}" for i in range(7)])
+        )
+        assert len(blobs) == 20  # MAX_RECOMMENDATIONS padding
+        unpacked = codec.unpack_items(codec.pack_items(blobs))
+        assert [bytes(b) for b in unpacked] == blobs
+        assert EnvelopeCodec.decode_identifiers(unpacked)[:7] == [
+            f"movie-{i}" for i in range(7)
+        ]
+
+    def test_wire_size_is_a_function_of_the_body(self, codec):
+        request = Request(
+            verb=Verb.GET, fields={"user": codec.wire_value(b"\x01" * 48)},
+            request_id=9, client_address="c",
+        )
+        body = codec.encode_request(request)
+        assert codec.request_size_bytes(request) == codec.request_wire_size(body)
+        assert codec.request_wire_size(body) >= len(body)
+
+
+# ---------------------------------------------------------------------------
+# Codec-specific behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestBinarySpecifics:
+    def test_frames_are_self_describing(self):
+        request = Request(verb=Verb.POST, fields={"user": b"u"},
+                          request_id=1, client_address="c")
+        frame = BINARY_WIRE_CODEC.encode_request(request)
+        assert BINARY_WIRE_CODEC.decode_request(frame).verb == Verb.POST
+
+    def test_bytes_fields_decode_zero_copy(self):
+        request = Request(verb=Verb.GET, fields={"tmpkey": b"\x05" * 128},
+                          request_id=1, client_address="c")
+        decoded = BINARY_WIRE_CODEC.decode_request(
+            memoryview(BINARY_WIRE_CODEC.encode_request(request))
+        )
+        assert isinstance(decoded.fields["tmpkey"], memoryview)
+        assert bytes(decoded.fields["tmpkey"]) == b"\x05" * 128
+
+    def test_no_base64_inflation(self):
+        blob = b"\xee" * 96
+        assert len(BINARY_WIRE_CODEC.wire_value(blob)) == 96
+        assert len(JSON_WIRE_CODEC.wire_value(blob)) == 128  # 4/3 inflation
+
+    def test_item_blob_size_enforced(self):
+        with pytest.raises(CodecError):
+            BINARY_WIRE_CODEC.pack_items([b"short"])
+        with pytest.raises(CodecError):
+            BINARY_WIRE_CODEC.unpack_items(b"\x00" * (FIXED_ID_BYTES + 1))
+
+    def test_unknown_field_names_ride_inline(self):
+        request = Request(verb=Verb.GET, fields={"x-custom": "v"},
+                          request_id=1, client_address="c")
+        decoded = BINARY_WIRE_CODEC.decode_request(
+            BINARY_WIRE_CODEC.encode_request(request)
+        )
+        assert decoded.fields["x-custom"] == "v"
+
+    def test_header_field_must_be_fixed_width(self):
+        request = Request(verb=Verb.GET, fields={"kepoch": "7"},
+                          request_id=1, client_address="c")
+        with pytest.raises(CodecError):
+            BINARY_WIRE_CODEC.encode_request(request)
+
+    def test_batch_envelopes_flag(self):
+        assert BINARY_WIRE_CODEC.batch_envelopes is True
+        assert BinaryCodec(batch_envelopes=False).batch_envelopes is False
+        assert JSON_WIRE_CODEC.batch_envelopes is False  # not self-describing
+
+
+class TestFrameValidation:
+    """Every malformed input must fail as :class:`CodecError`."""
+
+    @staticmethod
+    def _frame():
+        request = Request(
+            verb=Verb.GET,
+            fields={"user": b"\x11" * FIXED_ID_BYTES, "deadline": "000000.50000"},
+            request_id=1, client_address="c",
+        )
+        return BINARY_WIRE_CODEC.encode_request(request)
+
+    def test_truncated_prefix(self):
+        with pytest.raises(CodecError, match="length prefix"):
+            BINARY_WIRE_CODEC.decode_request(b"\x00\x00")
+
+    def test_truncations_at_every_length(self):
+        frame = self._frame()
+        for cut in range(len(frame)):
+            with pytest.raises(CodecError):
+                BINARY_WIRE_CODEC.decode_request(frame[:cut])
+
+    def test_overlong_frame(self):
+        with pytest.raises(CodecError, match="length mismatch"):
+            BINARY_WIRE_CODEC.decode_request(self._frame() + b"\x00")
+
+    def test_trailing_bytes_inside_declared_length(self):
+        frame = bytearray(self._frame() + b"Z")
+        frame[:4] = (len(frame) - 4).to_bytes(4, "big")  # re-frame the junk
+        with pytest.raises(CodecError, match="trailing bytes"):
+            BINARY_WIRE_CODEC.decode_request(bytes(frame))
+
+    def test_bad_magic(self):
+        frame = bytearray(self._frame())
+        frame[4:6] = b"XX"
+        with pytest.raises(CodecError, match="magic"):
+            BINARY_WIRE_CODEC.decode_request(bytes(frame))
+
+    def test_unsupported_version(self):
+        frame = bytearray(self._frame())
+        frame[6] = 9
+        with pytest.raises(CodecError, match="version"):
+            BINARY_WIRE_CODEC.decode_request(bytes(frame))
+
+    def test_kind_cross_decode(self):
+        with pytest.raises(CodecError, match="kind"):
+            BINARY_WIRE_CODEC.decode_response(self._frame())
+
+    def test_field_value_past_frame_end(self):
+        request = Request(verb=Verb.GET, fields={"user": b"abcd"},
+                          request_id=1, client_address="c")
+        frame = bytearray(BINARY_WIRE_CODEC.encode_request(request))
+        # Inflate the declared value length of the only entry.
+        entry_length_at = len(frame) - 4 - 4  # 4 value bytes, 4 length bytes
+        frame[entry_length_at:entry_length_at + 4] = (2 ** 20).to_bytes(4, "big")
+        with pytest.raises(CodecError):
+            BINARY_WIRE_CODEC.decode_request(bytes(frame))
+
+    def test_json_garbage(self):
+        with pytest.raises((CodecError, json.JSONDecodeError)):
+            JSON_WIRE_CODEC.decode_request(b"[1, 2", verb=Verb.GET)
+        with pytest.raises(CodecError):
+            JSON_WIRE_CODEC.decode_request(b"[1, 2]", verb=Verb.GET)
+
+
+# ---------------------------------------------------------------------------
+# Codec resolution & constants
+# ---------------------------------------------------------------------------
+
+
+class TestResolveCodec:
+    def test_none_stays_none(self):
+        assert resolve_codec(None) is None  # the byte-identical seed path
+
+    def test_names_resolve_to_singletons(self):
+        assert resolve_codec("json") is JSON_WIRE_CODEC
+        assert resolve_codec("binary") is BINARY_WIRE_CODEC
+
+    def test_instances_pass_through(self):
+        codec = BinaryCodec(batch_envelopes=False)
+        assert resolve_codec(codec) is codec
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            resolve_codec("msgpack")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_codec(42)
+
+    def test_codec_names(self):
+        assert JsonCodec.name == "json"
+        assert BinaryCodec.name == "binary"
+        assert issubclass(JsonCodec, WireCodec)
+        assert issubclass(BinaryCodec, WireCodec)
+
+
+def test_header_constants_match_their_canonical_owners():
+    """codec.py mirrors the field names/widths (it cannot import the
+    proxy packages at module level); this pins the mirror to the
+    canonical definitions."""
+    from repro.obs.tracewire import TRACE_FIELD, TRACE_WIDTH
+    from repro.overload.deadline import DEADLINE_FIELD, DEADLINE_WIDTH
+    from repro.proxy.epochs import EPOCH_FIELD, EPOCH_WIDTH
+    from repro.rest import codec as codec_module
+
+    assert codec_module._DEADLINE_FIELD == DEADLINE_FIELD
+    assert codec_module._DEADLINE_WIDTH == DEADLINE_WIDTH
+    assert codec_module._EPOCH_FIELD == EPOCH_FIELD
+    assert codec_module._EPOCH_WIDTH == EPOCH_WIDTH
+    assert codec_module._TRACE_FIELD == TRACE_FIELD
+    assert codec_module._TRACE_WIDTH == TRACE_WIDTH
+
+
+def test_uniform_reject_is_one_constant_shape_per_codec():
+    """Shedding stays unobservable on every wire: the canonical padded
+    reject encodes to one constant byte size per codec regardless of
+    which request it answers."""
+    from repro.overload.shedding import uniform_reject
+
+    for codec in CODECS:
+        sizes = {
+            codec.response_size_bytes(uniform_reject(request_id))
+            for request_id in (1, 77, 123456)
+        }
+        assert len(sizes) == 1, codec.name
+
+
+# ---------------------------------------------------------------------------
+# Deprecated helpers & per-context request ids (satellite fixes)
+# ---------------------------------------------------------------------------
+
+
+class TestDeprecatedHelpers:
+    def test_b64_warns_and_matches_wire_text(self):
+        blob = b"\x01\x02\xfe"
+        with pytest.warns(DeprecationWarning):
+            legacy = b64(blob)
+        assert legacy == EnvelopeCodec.wire_text(blob)
+
+    def test_unb64_warns_and_matches_wire_blob(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = unb64("AQL+")
+        assert legacy == EnvelopeCodec.wire_blob("AQL+") == b"\x01\x02\xfe"
+
+    def test_encode_identifiers_matches_per_item_calls(self):
+        items = pad_item_list(["a", "b"])
+        assert EnvelopeCodec.encode_identifiers(items) == [
+            encode_identifier(item) for item in items
+        ]
+
+
+def test_request_ids_are_per_context_not_process_global():
+    """The seed's module-global counter leaked across runs, so same-seed
+    artifacts depended on test ordering.  Context-scoped ids restart."""
+    first = SimContext.fresh(seed=1)
+    ids_a = [first.next_request_id() for _ in range(5)]
+    second = SimContext.fresh(seed=1)
+    ids_b = [second.next_request_id() for _ in range(5)]
+    assert ids_a == ids_b == [1, 2, 3, 4, 5]
+
+
+# ---------------------------------------------------------------------------
+# Property fuzzing (Hypothesis)
+# ---------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+field_names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=24,
+).filter(lambda s: s not in ("deadline", "kepoch", "trace"))
+field_values = st.one_of(
+    st.binary(min_size=0, max_size=256),
+    st.text(max_size=128),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+    st.lists(st.text(max_size=8), max_size=4),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(fields=st.dictionaries(field_names, field_values, max_size=8),
+       verb=st.sampled_from([Verb.GET, Verb.POST]))
+def test_fuzz_binary_request_round_trip(fields, verb):
+    request = Request(verb=verb, fields=fields, request_id=3, client_address="c")
+    decoded = BINARY_WIRE_CODEC.decode_request(
+        BINARY_WIRE_CODEC.encode_request(request)
+    )
+    assert decoded.verb == verb
+    assert _materialize(decoded.fields) == fields
+
+
+@settings(max_examples=60, deadline=None)
+@given(fields=st.dictionaries(field_names, field_values, max_size=8),
+       status=st.integers(min_value=0, max_value=0xFFFF))
+def test_fuzz_binary_response_round_trip(fields, status):
+    response = Response(status=status, fields=fields, request_id=3)
+    decoded = BINARY_WIRE_CODEC.decode_response(
+        BINARY_WIRE_CODEC.encode_response(response)
+    )
+    assert decoded.status == status
+    assert _materialize(decoded.fields) == fields
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(max_size=512))
+def test_fuzz_arbitrary_bytes_never_crash_the_parser(data):
+    """Garbage in, CodecError out — never KeyError/IndexError/etc."""
+    for decode in (BINARY_WIRE_CODEC.decode_request,
+                   BINARY_WIRE_CODEC.decode_response):
+        try:
+            decode(data)
+        except CodecError:
+            pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(cut=st.integers(min_value=0, max_value=200), flip=st.integers(min_value=0))
+def test_fuzz_truncated_and_corrupted_frames(cut, flip):
+    request = Request(
+        verb=Verb.GET,
+        fields={"user": b"\x23" * FIXED_ID_BYTES, "trace": "tw:0000000000001"},
+        request_id=1, client_address="c",
+    )
+    frame = BINARY_WIRE_CODEC.encode_request(request)
+    if cut < len(frame):
+        with pytest.raises(CodecError):
+            BINARY_WIRE_CODEC.decode_request(frame[:cut])
+    corrupted = bytearray(frame)
+    corrupted[flip % len(frame)] ^= 0xFF
+    try:
+        BINARY_WIRE_CODEC.decode_request(bytes(corrupted))
+    except CodecError:
+        pass  # rejecting is fine; crashing differently is not
+
+
+@settings(max_examples=30, deadline=None)
+@given(count=st.integers(min_value=0, max_value=40))
+def test_fuzz_max_size_identifier_payloads(count):
+    blobs = [bytes([i % 256]) * FIXED_ID_BYTES for i in range(count)]
+    packed = BINARY_WIRE_CODEC.pack_items(blobs)
+    assert len(packed) == count * FIXED_ID_BYTES
+    assert [bytes(b) for b in BINARY_WIRE_CODEC.unpack_items(packed)] == blobs
+
+
+@settings(max_examples=40, deadline=None)
+@given(frames=st.lists(st.binary(max_size=128), max_size=20),
+       cut=st.integers(min_value=0, max_value=64))
+def test_fuzz_batch_frame_packing(frames, cut):
+    from repro.crypto.envelope import PaddingError
+
+    packed = EnvelopeCodec.pack_frames(frames)
+    assert [bytes(f) for f in EnvelopeCodec.unpack_frames(packed)] == frames
+    if cut < len(packed):
+        try:
+            EnvelopeCodec.unpack_frames(packed[:cut])
+        except PaddingError:
+            pass

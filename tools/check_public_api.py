@@ -11,6 +11,17 @@ Checked per module:
   module — no phantom exports.
 * No duplicate entries.
 
+Codec classes (public top-level classes named ``*Codec``) carry extra
+structural checks — they are the wire-compatibility surface:
+
+* a class-level ``name`` attribute (a string literal) identifying the
+  codec in configuration and artifacts;
+* paired transform methods: every ``encode_X`` has a ``decode_X``,
+  every ``pack_X`` an ``unpack_X`` (and vice versa), every ``seal_X``
+  an ``open_X`` (and vice versa).  A codec that can write a shape it
+  cannot read back (or the reverse) is a wire-format bug waiting for
+  a version bump.
+
 Exit status 0 when clean; 1 with a per-module report otherwise.
 """
 
@@ -83,6 +94,59 @@ def bound_names(tree: ast.Module) -> Set[str]:
     return names
 
 
+#: (forward prefix, reverse prefix, also require forward for reverse).
+#: ``decode_X`` does not force ``encode_X`` because stamp/decode pairs
+#: (e.g. ``stamp_deadline``/``decode_deadline``) are legitimate.
+_CODEC_METHOD_PAIRS = (
+    ("encode_", "decode_", False),
+    ("pack_", "unpack_", True),
+    ("seal_", "open_", True),
+)
+
+
+def codec_class_problems(tree: ast.Module) -> List[str]:
+    """Structural lint for public ``*Codec`` classes."""
+    problems: List[str] = []
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name.startswith("_") or not node.name.endswith("Codec"):
+            continue
+        has_name = False
+        methods: Set[str] = set()
+        for member in node.body:
+            if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.add(member.name)
+            elif isinstance(member, ast.Assign):
+                for target in member.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "name"
+                        and isinstance(member.value, ast.Constant)
+                        and isinstance(member.value.value, str)
+                    ):
+                        has_name = True
+        if not has_name:
+            problems.append(
+                f"codec class {node.name}: missing class-level `name` string"
+            )
+        for forward, reverse, symmetric in _CODEC_METHOD_PAIRS:
+            for method in sorted(methods):
+                if method.startswith(forward):
+                    partner = reverse + method[len(forward):]
+                    if partner not in methods:
+                        problems.append(
+                            f"codec class {node.name}: {method} has no {partner}"
+                        )
+                elif symmetric and method.startswith(reverse):
+                    partner = forward + method[len(reverse):]
+                    if partner not in methods:
+                        problems.append(
+                            f"codec class {node.name}: {method} has no {partner}"
+                        )
+    return problems
+
+
 def check_module(path: Path) -> List[str]:
     """Return lint problems for one module (empty = clean)."""
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
@@ -99,6 +163,7 @@ def check_module(path: Path) -> List[str]:
     phantom = set(exported) - bound_names(tree)
     if phantom:
         problems.append(f"in __all__ but never defined: {sorted(phantom)}")
+    problems.extend(codec_class_problems(tree))
     return problems
 
 
