@@ -36,8 +36,13 @@ def sweep_capacity() -> None:
                 f" {summary.median * 1000:10.1f} {summary.p99 * 1000:8.1f}"
                 f" {'no' if result.saturated else 'yes':>4s}"
             )
-    print("rule of thumb: ~250 RPS per UA+IA pair before the knee;"
-          " avoid over-provisioning at low rates (shuffle delay).\n")
+    print("rule of thumb: ~250 RPS per UA+IA pair before the knee"
+          " (the capacity solver plans at 250 RPS/pair with 0.8"
+          " utilization headroom); avoid over-provisioning at low"
+          " rates (shuffle delay).")
+    print("for a solved-and-verified plan per (rps, p99 SLO) point —"
+          " shards, instances, shuffle size, clean + chaos legs —"
+          " run: python -m repro capacity\n")
 
 
 def autoscaler_demo() -> None:

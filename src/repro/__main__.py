@@ -50,6 +50,20 @@ Subcommands:
   artifact per run (request outcomes + privacy.wire auditor verdicts)
   and asserts all three are identical — the wire format must change
   bytes, never results (CI runs this as the codec-parity job);
+* ``fleet-smoke``     — self-healing sharded-fleet drill: a whole
+  failure domain (one full UA+IA shard) is killed mid-split with
+  overload protection armed; asserts zero aborted calls, post-failover
+  goodput >= 0.9, every released flush >= S, the effective anonymity
+  gauge >= S*I, a completed split, and clean epoch/trace/shard-tag/
+  reject/redaction/placement audits; writes ``fleet.json`` plus the
+  telemetry artifact (byte-identical across same-seed invocations —
+  CI diffs two runs);
+* ``capacity``        — capacity planner: for each (target RPS, p99
+  SLO) point solves (shards, I, S) from the measured per-pair knee,
+  then verifies the plan twice in simulation — fault-free for the
+  steady-state SLO and with chaos + overload armed for graceful
+  degradation — each leg judged by an ``obs.slo`` verdict; writes a
+  deterministic ``capacity.json`` and a non-diffable meta report;
 * ``simnet-bench``    — event-loop micro-benchmarks (calendar engine
   vs seed reference heap); writes/refreshes ``BENCH_simnet.json`` and
   enforces the recorded perf floors.
@@ -634,6 +648,126 @@ def _cmd_wire_smoke(args) -> int:
     return 0
 
 
+def _cmd_fleet_smoke(args) -> int:
+    """Sharded-fleet drill: domain loss mid-split, floors + audits."""
+    import json as json_module
+    import os
+
+    from repro.fleet import run_fleet_drill
+    from repro.obs import SloEngine, write_slo
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry(scrape_interval=1.0)
+    slo = SloEngine()
+    result = run_fleet_drill(
+        seed=args.seed,
+        rps=args.rps,
+        duration=args.duration,
+        telemetry=telemetry,
+        slo=slo,
+    )
+    summary = result.to_dict()
+    print("fleet drill summary")
+    print("===================")
+    for key in (
+        "seed", "issued", "completed", "failed", "goodput",
+        "crashes_injected", "restarts_completed", "ejections", "readmissions",
+        "routed", "failovers", "shards_initial", "shards_final",
+        "splits_started", "splits_completed",
+        "split_started_at", "split_flipped_at", "split_completed_at",
+        "kill_time", "pauses", "pause_reasons",
+        "window_flushes", "min_window_flush",
+        "min_effective_anonymity", "required_anonymity", "shed_total",
+    ):
+        print(f"  {key:24s} {summary[key]}")
+    print(f"  {'outcomes':24s} {summary['outcomes']}")
+
+    os.makedirs(args.telemetry_dir, exist_ok=True)
+    fleet_path = os.path.join(args.telemetry_dir, "fleet.json")
+    with open(fleet_path, "w") as handle:
+        json_module.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    paths = telemetry.write_artifact(args.telemetry_dir)
+    print(f"artifact: {fleet_path}")
+    print(f"artifact: {paths['events']} ({len(result.fleet_events)} fleet events)")
+    print(f"artifact: {paths['metrics']}")
+    if result.slo_report is not None:
+        slo_path = write_slo(result.slo_report, args.telemetry_dir)
+        print(f"artifact: {slo_path}")
+
+    problems = result.problems()
+    if result.slo_report is not None and not result.slo_report.ok:
+        problems.extend(result.slo_report.problems())
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(
+        f"fleet smoke OK: domain kill at {result.kill_time:.2f}s inside split"
+        f" [{result.split_started_at:.2f}, {result.split_completed_at:.2f}],"
+        f" 0 aborted calls, {result.failovers} failovers,"
+        f" anonymity floor {result.min_effective_anonymity}"
+        f" >= {result.required_anonymity}, audits clean"
+    )
+    return 0
+
+
+def _cmd_capacity(args) -> int:
+    """Capacity planner: solve (shards, I, S) per target, verify both legs."""
+    from repro.experiments.capacity import (
+        DEFAULT_TARGETS,
+        CapacityTarget,
+        run_capacity,
+        write_artifacts,
+    )
+
+    targets = DEFAULT_TARGETS
+    if args.targets:
+        parsed = []
+        for spec in args.targets:
+            rps_text, _, slo_text = spec.partition(":")
+            parsed.append(CapacityTarget(rps=float(rps_text), p99_slo=float(slo_text)))
+        targets = tuple(parsed)
+
+    artifact, meta, results = run_capacity(
+        targets, seed=args.seed, duration=args.duration
+    )
+    print("capacity plan verification")
+    print("==========================")
+    header = (
+        f"  {'target':>7s} {'p99 slo':>8s} {'mode':>6s} {'shards':>6s} {'I':>3s}"
+        f" {'S':>3s} {'goodput':>8s} {'p99':>8s} {'min S':>6s} {'ok':>4s}"
+    )
+    print(header)
+    for result in results:
+        floor = (
+            result.min_steady_flush if result.mode == "chaos" else result.min_released_flush
+        )
+        p99 = "-" if result.p99_latency_seconds is None else f"{result.p99_latency_seconds:.3f}"
+        print(
+            f"  {result.target.rps:7.0f} {result.target.p99_slo:8.2f}"
+            f" {result.mode:>6s} {result.plan.shards:6d}"
+            f" {result.plan.instances_per_shard:3d} {result.plan.shuffle_size:3d}"
+            f" {result.goodput:8.4f} {p99:>8s}"
+            f" {floor if floor is not None else '-':>6} {'yes' if result.ok else 'NO':>4s}"
+        )
+
+    artifact_path, meta_path = write_artifacts(artifact, meta, args.out_dir)
+    print(f"artifact: {artifact_path} (deterministic)")
+    print(f"artifact: {meta_path} (wall-clock numbers, do not diff)")
+
+    problems = [problem for result in results for problem in result.problems()]
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(
+        f"capacity OK: {len(targets)} planning points solved and verified"
+        f" (clean + chaos legs), all slo verdicts hold"
+    )
+    return 0
+
+
 def _cmd_simnet_bench(args) -> int:
     """Event-loop perf floors (delegates to benchmarks/run_simnet_bench.py)."""
     import pathlib
@@ -746,6 +880,26 @@ def main(argv=None) -> int:
     wire.add_argument("--requests", type=int, default=24,
                       help="requests per run (alternating get/post)")
     wire.set_defaults(fn=_cmd_wire_smoke)
+    fleet = subparsers.add_parser(
+        "fleet-smoke", help="sharded-fleet drill: domain loss mid-split"
+    )
+    fleet.add_argument("--telemetry-dir", default="results/fleet-smoke",
+                       help="directory for fleet.json + telemetry artifacts")
+    fleet.add_argument("--rps", type=float, default=360.0)
+    fleet.add_argument("--duration", type=float, default=10.0)
+    fleet.add_argument("--seed", type=int, default=23)
+    fleet.set_defaults(fn=_cmd_fleet_smoke)
+    capacity = subparsers.add_parser(
+        "capacity", help="capacity planner: solve (shards, I, S) and verify"
+    )
+    capacity.add_argument("--out-dir", default="results/capacity",
+                          help="directory for capacity.json / capacity_meta.json")
+    capacity.add_argument("--seed", type=int, default=11)
+    capacity.add_argument("--duration", type=float, default=8.0,
+                          help="injection window per verification leg (s)")
+    capacity.add_argument("--targets", nargs="*", default=None, metavar="RPS:P99",
+                          help="planning points, e.g. 500:0.5 (default: 3 canonical)")
+    capacity.set_defaults(fn=_cmd_capacity)
     bench = subparsers.add_parser(
         "simnet-bench", help="event-loop perf floors (BENCH_simnet.json)"
     )

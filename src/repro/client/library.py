@@ -502,7 +502,15 @@ class PProxClient:
             attempt_index = call_state["attempt"]
             live_ids.add(attempt_request.request_id)
             try:
-                entry = self.service.entry()
+                # Sharded fleets route per attempt on the request nonce
+                # (never anything user-derived); a retry's fresh nonce
+                # re-rolls its shard, which is what makes failover to a
+                # sibling shard automatic when one shard is down.
+                entry_for = getattr(self.service, "entry_for", None)
+                if entry_for is not None:
+                    entry = entry_for(attempt_request)
+                else:
+                    entry = self.service.entry()
             except BalancerError:
                 # Every UA instance is ejected right now.  Treat like a
                 # lost message: back off and retry while budget lasts.

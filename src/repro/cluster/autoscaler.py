@@ -115,8 +115,14 @@ class ElasticScaler:
                 return True
         return False
 
-    def _evaluate(self, layer: str, rate: float, count: int, live: List = ()) -> None:
-        if self._overloaded(list(live)) and count < self.max_instances:
+    def _evaluate(
+        self, layer: str, rate: float, count: int, live: Optional[List] = None
+    ) -> None:
+        # ``None`` (not a shared tuple masquerading as a List) is the
+        # no-liveness-info sentinel; normalize once so every branch
+        # sees a real list.
+        live = list(live) if live is not None else []
+        if self._overloaded(live) and count < self.max_instances:
             if layer == "UA":
                 self.service.scale_ua()
             else:

@@ -30,6 +30,14 @@ from repro.experiments.rotation import (
     default_rotation_plan,
     run_rotation,
 )
+from repro.experiments.capacity import (
+    CapacityPlan,
+    CapacityPointResult,
+    CapacityTarget,
+    run_capacity,
+    solve_plan,
+    verify_plan,
+)
 from repro.experiments.runner import RunResult, run_baseline, run_full, run_micro
 from repro.experiments.report import (
     render_figure,
@@ -63,6 +71,12 @@ __all__ = [
     "default_rotation_config",
     "default_rotation_plan",
     "run_rotation",
+    "CapacityPlan",
+    "CapacityPointResult",
+    "CapacityTarget",
+    "run_capacity",
+    "solve_plan",
+    "verify_plan",
     "run_micro",
     "run_baseline",
     "run_full",

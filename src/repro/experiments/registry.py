@@ -209,6 +209,41 @@ EXPERIMENT_INDEX: Dict[str, Experiment] = {
             "same-seed artifacts are byte-identical on calendar and reference engines",
         ),
     ),
+    "fleet": Experiment(
+        identifier="fleet",
+        title="Self-healing sharded fleet: domain loss mid-split",
+        workload="mixed gets/posts across UA+IA shards while one shard's domain dies mid-split",
+        modules=(
+            "repro.fleet",
+            "repro.fleet.ring",
+            "repro.fleet.supervisor",
+            "repro.experiments.capacity",
+        ),
+        bench="tests/test_fleet_scenario.py",
+        claims=(
+            "a whole-domain kill mid-split aborts zero client calls",
+            "routing keys are request nonces only; no shard identity on the wire",
+            "released flushes never drop the anonymity set below S*I",
+            "same-seed fleet drills are byte-identical across processes",
+        ),
+    ),
+    "capacity": Experiment(
+        identifier="capacity",
+        title="Capacity planning: solve (shards, I, S), verify under chaos",
+        workload="solved fleet shapes at 250/500/1000 RPS, clean + chaos verification legs",
+        modules=(
+            "repro.experiments.capacity",
+            "repro.fleet.service",
+            "repro.obs.slo",
+        ),
+        bench="tests/test_capacity_scenario.py",
+        claims=(
+            "each solved plan meets its p99 SLO fault-free",
+            "each plan degrades gracefully (goodput >= 0.9) with chaos + overload armed",
+            "the shuffle floor holds outside network-interruption windows",
+            "capacity.json is deterministic for a fixed seed",
+        ),
+    ),
     "ablations": Experiment(
         identifier="ablations",
         title="Design-choice ablations",

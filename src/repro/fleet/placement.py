@@ -1,0 +1,83 @@
+"""Failure-domain-aware placement for the sharded fleet.
+
+Every shard's instances land on nodes of one named failure domain
+(rack / AZ in the deployment analogy), and no two shards share a
+domain.  That makes the blast radius of a correlated ``FaultPlan``
+crash — a whole rack dying — exactly one shard: the directory fails
+the dead shard's key ranges over to ring siblings whose released
+flushes keep their own S*I floor, instead of every shard losing one
+instance and all of them flushing short.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.faults.plan import FaultEvent, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fleet.service import ShardedPProxService
+
+__all__ = [
+    "domain_node",
+    "domain_kill_plan",
+    "placement_violations",
+]
+
+
+def domain_node(domain: str, layer: str, index: int) -> str:
+    """Node name binding an instance to its shard's failure domain."""
+    return f"node-{domain}-{layer.lower()}-{index}"
+
+
+def domain_kill_plan(
+    fleet: "ShardedPProxService",
+    domain: str,
+    *,
+    at: float,
+    outage: float,
+) -> FaultPlan:
+    """Correlated crash of every instance placed in *domain*.
+
+    One :class:`FaultEvent` per instance, all at the same instant —
+    the whole-rack kill the drill arms mid-split.  Restart after
+    *outage* seconds is the fault supervisor's normal recovery path.
+    """
+    events: List[FaultEvent] = []
+    for shard in fleet.shards.values():
+        if shard.domain != domain:
+            continue
+        for instance in shard.instances():
+            events.append(
+                FaultEvent(at=at, kind="crash", target=instance.name, duration=outage)
+            )
+    if not events:
+        raise ValueError(f"no instances placed in failure domain {domain!r}")
+    return FaultPlan(tuple(events))
+
+
+def placement_violations(fleet: "ShardedPProxService") -> List[str]:
+    """Placement invariant check — empty list means clean.
+
+    * no two shards share a failure domain;
+    * every instance's host node belongs to its shard's domain.
+    """
+    problems: List[str] = []
+    owner: Dict[str, str] = {}
+    for shard in fleet.shards.values():
+        previous = owner.get(shard.domain)
+        if previous is not None and previous != shard.shard_id:
+            problems.append(
+                f"shards {previous} and {shard.shard_id} share failure "
+                f"domain {shard.domain}"
+            )
+        owner.setdefault(shard.domain, shard.shard_id)
+        prefix = f"node-{shard.domain}-"
+        for instance in shard.instances():
+            host = instance.enclave.host_node
+            if not host.startswith(prefix):
+                problems.append(
+                    f"instance {instance.name} of shard {shard.shard_id} "
+                    f"placed on {host}, outside domain {shard.domain}"
+                )
+    return problems

@@ -22,8 +22,15 @@ __all__ = [
     "constant_size_violations",
     "epoch_tag_exposures",
     "trace_field_exposures",
+    "shard_tag_exposures",
+    "shard_routing_violations",
     "RejectAuditor",
 ]
+
+#: Field names that would name a shard on the wire.  No hop may carry
+#: any of them: shard membership is positional (which instance a
+#: message reaches), never tagged.
+SHARD_FIELD_NAMES = ("shard", "shard_id", "ring", "ring_point", "fleet")
 
 
 def hop_of(record: FlowRecord) -> Tuple[str, str]:
@@ -149,6 +156,58 @@ def trace_field_exposures(
             f"{hop[0]}->{hop[1]}: trace id under {sorted(leaks)} "
             f"visible at t={getattr(obs, 'time', '?')}"
         )
+    return violations
+
+
+def shard_tag_exposures(observations: Sequence[Any]) -> List[str]:
+    """Shard-identity fields observed on any wire hop.
+
+    The fleet's consistent-hash directory is control-plane state: a
+    request reaches its shard because the client's balancer pick sent
+    it there, not because any message says so.  A shard tag on any hop
+    would hand the adversary a stable partition of the anonymity set
+    (all requests of one shard), so — unlike the epoch tag — there is
+    no allowed hop at all.
+    """
+    violations: List[str] = []
+    for obs in observations:
+        fields = getattr(obs, "fields", None)
+        if not fields:
+            continue
+        leaks = [key for key in fields if key in SHARD_FIELD_NAMES]
+        if not leaks:
+            continue
+        hop = hop_of(obs)
+        violations.append(
+            f"{hop[0]}->{hop[1]}: shard identity under {sorted(leaks)} "
+            f"visible at t={getattr(obs, 'time', '?')}"
+        )
+    return violations
+
+
+def shard_routing_violations(
+    directory: Any, observations: Sequence[Any] = ()
+) -> List[str]:
+    """Audit a :class:`repro.fleet.ring.ShardDirectory`'s key hygiene.
+
+    Three checks, all of which must come back empty:
+
+    * the directory never accepted a non-int routing key (its key must
+      be the per-attempt request nonce, so a user id, address or any
+      other string can never steer shard placement);
+    * every logged routing key is a positive int — the context's
+      request-id counter starts at 1, so zero/negative keys would mean
+      someone minted keys outside the nonce path;
+    * no wire hop carries a shard-identity field
+      (:func:`shard_tag_exposures`).
+    """
+    violations: List[str] = []
+    for rejected in getattr(directory, "rejected_keys", ()):
+        violations.append(f"directory refused non-nonce routing key {rejected}")
+    for key in getattr(directory, "key_log", ()):
+        if type(key) is not int or key <= 0:
+            violations.append(f"routing key {key!r} is not a positive int nonce")
+    violations.extend(shard_tag_exposures(observations))
     return violations
 
 

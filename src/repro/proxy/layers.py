@@ -260,6 +260,10 @@ class UserAnonymizer:
             and codec.batch_envelopes
             and self.runtime.config.encryption
             and self.request_buffer is not None
+            # Runtimes without a shared IA key (multi-tenant stacks
+            # hold per-tenant keys instead) fall back to per-request
+            # sends; a batch envelope needs one sealing key.
+            and self.runtime.ia_public is not None
         ):
             # Batch-envelope mode: a flush becomes one sealed envelope
             # to one IA instance instead of S independent sends.

@@ -56,6 +56,9 @@ class BalancingPolicy(Generic[BackendT]):
     def choose(self, backends: Sequence[BackendT]) -> BackendT:
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Forget rotation state (called when the pool empties)."""
+
 
 @dataclass
 class RandomPolicy(BalancingPolicy):
@@ -84,6 +87,9 @@ class RoundRobinPolicy(BalancingPolicy):
         backend = backends[self._next]
         self._next = (self._next + 1) % len(backends)
         return backend
+
+    def reset(self) -> None:
+        self._next = 0
 
 
 @dataclass
@@ -116,13 +122,22 @@ class LoadBalancer(Generic[BackendT]):
         self.backends.append(backend)
 
     def remove(self, backend: BackendT) -> None:
-        """Deregister a backend (elastic scale-down)."""
+        """Deregister a backend (elastic scale-down).
+
+        Removing the final backend leaves the pool empty-but-valid:
+        the next :meth:`pick` raises :class:`NoUpstream` (an upstream
+        shed, not a crash), and the policy's rotation state is reset
+        so backends added later are served strictly in (re)admission
+        order rather than from a stale mid-cycle cursor.
+        """
         if backend not in self.backends:
             raise BalancerError(
                 f"load balancer {self.name!r} has no backend "
                 f"{getattr(backend, 'name', backend)!r} to remove"
             )
         self.backends.remove(backend)
+        if not self.backends:
+            self.policy.reset()
 
     def contains(self, backend: BackendT) -> bool:
         """True when *backend* is currently in the pool."""
@@ -133,6 +148,8 @@ class LoadBalancer(Generic[BackendT]):
         if backend not in self.backends:
             return False
         self.backends.remove(backend)
+        if not self.backends:
+            self.policy.reset()
         self.ejections += 1
         return True
 

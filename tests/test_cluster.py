@@ -146,6 +146,66 @@ def test_autoscaler_respects_min_instances():
     assert len(service.ia_instances) >= 1
 
 
+def test_evaluate_without_liveness_info_still_scales_down():
+    """``_evaluate``'s liveness argument is optional.  The regression:
+    it once defaulted to a shared tuple typed as a List, so callers
+    passing nothing got a value that broke list-normalizing branches.
+    ``None`` must behave as "no liveness info" and still act."""
+    loop, service = _scaled_service()
+    service.scale_ua()
+    scaler = ElasticScaler(loop=loop, service=service, low_rps=5.0)
+    scaler._evaluate("UA", 0.0, 2, None)
+    assert [d.action for d in scaler.decisions] == ["scale-down"]
+    assert len(service.ua_instances) == 1
+
+
+def test_evaluate_empty_live_list_with_overload_trigger_armed():
+    """An empty live list (every instance just crashed) must not trip
+    the overload branch or crash — the rate branch still decides."""
+    loop, service = _scaled_service()
+    service.scale_ua()
+    scaler = ElasticScaler(
+        loop=loop, service=service, low_rps=5.0, overload_sojourn_threshold=0.01
+    )
+    scaler._evaluate("UA", 0.0, 2, [])
+    assert scaler.overload_scale_ups == 0
+    assert [d.action for d in scaler.decisions] == ["scale-down"]
+
+
+def test_scale_down_deferred_while_a_shard_is_splitting():
+    """Mirror of the rotation-guard deferral: the fleet supervisor's
+    guard holds instance retirement while a split is mid-handoff (a
+    splitting source still owes full-size flushes), then releases it."""
+    from repro.context import SimContext
+    from repro.fleet import FleetSupervisor, build_fleet
+
+    ctx = SimContext.fresh(31)
+    stub = StubLrs(loop=ctx.loop, rng=ctx.rng.stream("stub"))
+    fleet = build_fleet(
+        ctx, PProxConfig(shuffle_size=0, ua_instances=2, ia_instances=2),
+        lambda: stub, shards=2,
+    )
+    supervisor = FleetSupervisor(
+        loop=ctx.loop, fleet=fleet, tick_interval=0.05, drain_grace=1.5
+    )
+    scaler = ElasticScaler(
+        loop=ctx.loop, service=fleet, interval=1.0, low_rps=5.0,
+        rotation_guard=supervisor.guard,
+    )
+    supervisor.start()
+    supervisor.split("s0")
+    scaler.start()
+    ctx.loop.run_until(1.2)  # first scaler tick lands mid-split
+    assert scaler.deferred_scale_downs >= 1
+    actions = [d.action for d in scaler.decisions]
+    assert "scale-down-deferred" in actions
+    assert "scale-down" not in actions
+    ctx.loop.run_until(4.5)  # split done, idle fleet may now shrink
+    scaler.stop()
+    supervisor.stop()
+    assert "scale-down" in [d.action for d in scaler.decisions]
+
+
 def test_autoscaler_respects_max_instances():
     loop, service = _scaled_service()
     scaler = ElasticScaler(loop=loop, service=service, interval=1.0, high_rps=1.0,

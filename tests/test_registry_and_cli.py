@@ -19,7 +19,9 @@ def test_index_covers_every_paper_artefact():
                 "chaos",      # availability/recovery drill, not a figure
                 "overload",   # graceful-degradation sweep, not a figure
                 "rotation",   # live re-key drill, not a figure
-                "scale"}      # million-user engine sweep, not a figure
+                "scale",      # million-user engine sweep, not a figure
+                "fleet",      # sharded-fleet self-healing drill
+                "capacity"}   # solve-then-prove capacity planning
     assert set(EXPERIMENT_INDEX) == expected
 
 

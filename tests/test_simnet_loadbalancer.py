@@ -12,6 +12,7 @@ from repro.simnet.loadbalancer import (
     BalancerError,
     LeastPendingPolicy,
     LoadBalancer,
+    NoUpstream,
     RandomPolicy,
     RoundRobinPolicy,
     make_policy,
@@ -152,3 +153,51 @@ def test_pick_from_fully_ejected_pool_raises_typed_no_upstream():
     # Readmission restores service on the same pool object.
     balancer.readmit(backends[0])
     assert balancer.pick() is backends[0]
+
+
+def test_remove_final_backend_leaves_a_valid_empty_pool():
+    """Elastic scale-down of the last instance must read as "no
+    upstream right now", not corrupt the pool: the next pick raises
+    the typed NoUpstream and later adds restore service."""
+    balancer = LoadBalancer(name="lb", policy=RoundRobinPolicy())
+    only = FakeBackend("only")
+    balancer.add(only)
+    balancer.pick()
+    balancer.remove(only)
+    with pytest.raises(NoUpstream, match="has no backends"):
+        balancer.pick()
+    balancer.add(only)
+    assert balancer.pick() is only
+
+
+def test_remove_then_add_serves_in_readmission_order():
+    """Emptying the pool resets rotation state: backends added to a
+    drained balancer are served strictly in (re)admission order, not
+    from the stale mid-cycle cursor the old pool left behind."""
+    balancer = LoadBalancer(name="lb", policy=RoundRobinPolicy())
+    a, b = FakeBackend("a"), FakeBackend("b")
+    balancer.add(a)
+    balancer.add(b)
+    balancer.pick()  # a -> cursor now points at b
+    balancer.remove(b)
+    balancer.remove(a)
+    c, d = FakeBackend("c"), FakeBackend("d")
+    balancer.add(c)
+    balancer.add(d)
+    assert [balancer.pick().name for _ in range(4)] == ["c", "d", "c", "d"]
+
+
+def test_eject_to_empty_then_readmit_serves_in_order_too():
+    """Same contract on the health-driven path: a fully ejected pool
+    that readmits survivors rotates from the front."""
+    balancer = LoadBalancer(name="lb", policy=RoundRobinPolicy())
+    backends = [FakeBackend(f"b{i}") for i in range(3)]
+    for backend in backends:
+        balancer.add(backend)
+    balancer.pick()
+    balancer.pick()  # cursor mid-cycle
+    for backend in backends:
+        assert balancer.eject(backend)
+    balancer.readmit(backends[2])
+    balancer.readmit(backends[0])
+    assert [balancer.pick().name for _ in range(4)] == ["b2", "b0", "b2", "b0"]

@@ -29,7 +29,8 @@ def _tenant_keys(name: str, factory: KeyFactory):
     return _TENANT_KEY_CACHE[name]
 
 
-def _multi_tenant_stack(config=None, tenant_names=("shop", "forum"), seed=71):
+def _multi_tenant_stack(config=None, tenant_names=("shop", "forum"), seed=71,
+                        codec=None):
     rng = RngRegistry(seed=seed)
     loop = EventLoop()
     network = Network(loop=loop, rng=rng.stream("net"))
@@ -56,13 +57,16 @@ def _multi_tenant_stack(config=None, tenant_names=("shop", "forum"), seed=71):
     service = build_multi_tenant_pprox(
         loop, network, rng,
         config or PProxConfig(shuffle_size=0),
-        directory, provider=provider,
+        directory, provider=provider, codec=codec,
     )
     clients = {
         name: PProxClient(
             loop=loop, network=network, provider=provider, service=service,
             costs=DEFAULT_COSTS, rng=rng.stream(f"client-{name}"),
             material=directory.record(name).client_material, tenant=name,
+            # Clients must speak the same wire as the proxies (and
+            # share the codec *object* — identity checks rely on it).
+            codec=service.runtime.codec,
         )
         for name in tenant_names
     }
@@ -157,6 +161,72 @@ def test_tenant_label_is_public_on_the_wire():
     loop.run()
     requests = [p for p in taps if hasattr(p, "verb")]
     assert all(p.fields.get("tenant") == "shop" for p in requests if "tenant" in p.fields)
+
+
+def _run_tenant_mix(codec):
+    """One seeded multi-tenant traffic mix under *codec*; returns the
+    semantic outcome (per-call results + trained recommendations) plus
+    the adversary's wire observations for auditing."""
+    loop, network, _, harnesses, _, clients = _multi_tenant_stack(codec=codec)
+    adversary = Adversary()
+    adversary.attach(network)
+    outcomes = []
+    for tenant, user, item in [
+        ("shop", "alice", "lamp"), ("shop", "alice", "rug"),
+        ("shop", "bob", "lamp"), ("shop", "bob", "desk"),
+        ("forum", "alice", "thread-1"), ("forum", "carol", "thread-1"),
+        ("forum", "carol", "thread-2"),
+    ]:
+        clients[tenant].post(
+            user, item,
+            on_complete=lambda call, t=tenant: outcomes.append((t, "post", call.ok)),
+        )
+    loop.run()
+    for harness in harnesses.values():
+        harness.train()
+    clients["shop"].get(
+        "alice",
+        on_complete=lambda call: outcomes.append(
+            ("shop", "get", call.ok, tuple(sorted(map(str, call.items or ()))))
+        ),
+    )
+    clients["forum"].get(
+        "carol",
+        on_complete=lambda call: outcomes.append(
+            ("forum", "get", call.ok, tuple(sorted(map(str, call.items or ()))))
+        ),
+    )
+    loop.run()
+    return outcomes, adversary.observations
+
+
+@pytest.mark.parametrize("codec", [None, "json", "binary"])
+def test_multi_tenant_redaction_audit_per_codec(codec):
+    """No wire hop leaks a raw user or item id for either tenant, on
+    any codec.  The tenant label itself is public by design."""
+    outcomes, observations = _run_tenant_mix(codec)
+    assert all(entry[2] for entry in outcomes)
+    raw_identifiers = {"alice", "bob", "carol", "lamp", "rug", "desk",
+                       "thread-1", "thread-2"}
+    for obs in observations:
+        fields = getattr(obs, "fields", None) or {}
+        for key, value in fields.items():
+            if key == "tenant":
+                continue
+            assert str(value) not in raw_identifiers, (
+                f"raw identifier {value!r} on the wire under field {key!r}"
+                f" ({obs.source}->{obs.destination}, codec={codec})"
+            )
+
+
+def test_multi_tenant_codec_parity():
+    """The wire format must change bytes, never results: the same
+    seeded mix yields identical per-tenant outcomes on the legacy
+    object wire, the JSON codec and the binary codec."""
+    legacy, _ = _run_tenant_mix(None)
+    for codec in ("json", "binary"):
+        outcomes, _ = _run_tenant_mix(codec)
+        assert outcomes == legacy, f"codec={codec} diverged from legacy wire"
 
 
 def test_cross_tenant_requests_cannot_be_decrypted_with_other_keys():

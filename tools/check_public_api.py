@@ -147,6 +147,68 @@ def codec_class_problems(tree: ast.Module) -> List[str]:
     return problems
 
 
+#: The fleet package's contract surface: drills, CI gates and docs all
+#: build against these names, so they must stay re-exported at the top.
+_FLEET_REQUIRED_EXPORTS = {
+    "HashRing",
+    "Shard",
+    "ShardDirectory",
+    "ShardedPProxService",
+    "FleetSupervisor",
+    "ShardAutoscaler",
+    "build_fleet",
+    "run_fleet_drill",
+    "domain_kill_plan",
+    "placement_violations",
+    "ring_point",
+}
+
+
+def fleet_surface_problems() -> Dict[str, List[str]]:
+    """Structural lint for the ``repro.fleet`` privacy contract.
+
+    * ``repro/fleet/__init__.py`` re-exports the full contract surface;
+    * every ring routing entry point (``route`` / ``successors`` on
+      ``HashRing`` and ``ShardDirectory``) takes its key as a parameter
+      literally named ``nonce`` — the signature documents, and the
+      privacy audit assumes, that shard placement keys on the request
+      nonce and never on a user-derived value.
+    """
+    problems: Dict[str, List[str]] = {}
+    init_path = SRC / "fleet" / "__init__.py"
+    ring_path = SRC / "fleet" / "ring.py"
+    if not init_path.exists() or not ring_path.exists():
+        problems["src/repro/fleet"] = ["fleet package missing"]
+        return problems
+    init_tree = ast.parse(init_path.read_text(encoding="utf-8"))
+    exported = extract_all(init_tree) or []
+    missing = _FLEET_REQUIRED_EXPORTS - set(exported)
+    if missing:
+        problems.setdefault(str(init_path.relative_to(SRC.parent.parent)), []).append(
+            f"fleet surface not re-exported: {sorted(missing)}"
+        )
+    ring_tree = ast.parse(ring_path.read_text(encoding="utf-8"))
+    for node in ring_tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name not in ("HashRing", "ShardDirectory"):
+            continue
+        for member in node.body:
+            if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if member.name not in ("route", "successors"):
+                continue
+            args = [arg.arg for arg in member.args.args if arg.arg != "self"]
+            if not args or args[0] != "nonce":
+                problems.setdefault(
+                    str(ring_path.relative_to(SRC.parent.parent)), []
+                ).append(
+                    f"{node.name}.{member.name}: routing key parameter must be "
+                    f"named 'nonce', got {args[:1] or ['<none>']}"
+                )
+    return problems
+
+
 def check_module(path: Path) -> List[str]:
     """Return lint problems for one module (empty = clean)."""
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
@@ -173,6 +235,8 @@ def main() -> int:
         problems = check_module(path)
         if problems:
             failures[str(path.relative_to(SRC.parent.parent))] = problems
+    for module, problems in fleet_surface_problems().items():
+        failures.setdefault(module, []).extend(problems)
     if failures:
         print("public-API lint failed:\n")
         for module, problems in failures.items():
